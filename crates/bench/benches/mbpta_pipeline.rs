@@ -1,0 +1,44 @@
+//! Microbenchmarks of the MBPTA statistical pipeline: i.i.d. tests, Gumbel
+//! fitting and pWCET projection over samples of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use randmod_mbpta::{ExecutionSample, MbptaAnalysis, MbptaConfig};
+use std::hint::black_box;
+
+fn synthetic_sample(n: usize) -> ExecutionSample {
+    // Exponential-ish noise on top of a base time; deterministic stream.
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    let values: Vec<u64> = (0..n)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            700_000 + (8_000.0 * -(1.0 - u).ln()) as u64
+        })
+        .collect();
+    ExecutionSample::from_cycles(&values)
+}
+
+fn full_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mbpta/full_analysis");
+    for &runs in &[250usize, 1_000, 4_000] {
+        let sample = synthetic_sample(runs);
+        let analysis = MbptaAnalysis::new(MbptaConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(runs), &sample, |b, sample| {
+            b.iter(|| black_box(analysis.analyze(black_box(sample))))
+        });
+    }
+    group.finish();
+}
+
+fn pwcet_projection(c: &mut Criterion) {
+    let sample = synthetic_sample(1_000);
+    let report = MbptaAnalysis::new(MbptaConfig::default()).analyze(&sample);
+    c.bench_function("mbpta/pwcet_projection", |b| {
+        b.iter(|| black_box(report.pwcet_at(black_box(1e-15))))
+    });
+}
+
+criterion_group!(benches, full_analysis, pwcet_projection);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Microbenchmarks of the placement functions: how long it takes each
+//! policy to map an address to a set (the operation on the cache-access
+//! critical path that `randmod-hwcost` models in hardware).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use randmod_core::{Address, CacheGeometry, PlacementKind};
+use std::hint::black_box;
+
+fn placement_throughput(c: &mut Criterion) {
+    let geometry = CacheGeometry::leon3_l1();
+    let addresses: Vec<Address> = (0..4096u64).map(|i| Address::new(0x4000_0000 + i * 32)).collect();
+
+    let mut group = c.benchmark_group("placement/set_index");
+    group.throughput(Throughput::Elements(addresses.len() as u64));
+    for kind in PlacementKind::ALL {
+        let mut policy = kind.build(geometry).expect("valid geometry");
+        policy.reseed(0xBEEF);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &addresses, |b, addrs| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &addr in addrs {
+                    acc = acc.wrapping_add(policy.set_index(black_box(addr)));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn reseed_cost(c: &mut Criterion) {
+    let geometry = CacheGeometry::leon3_l1();
+    let mut group = c.benchmark_group("placement/reseed");
+    for kind in [PlacementKind::HashRandom, PlacementKind::RandomModulo] {
+        let mut policy = kind.build(geometry).expect("valid geometry");
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &(), |b, _| {
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                policy.reseed(black_box(seed));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, placement_throughput, reseed_cost);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! One benchmark per table and figure of the paper's evaluation: each runs
+//! a reduced-size version of the corresponding experiment through the same
+//! code path as its `randmod-experiments` binary and sanity-checks the
+//! result's shape, so `cargo bench` doubles as a regeneration smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use randmod_bench::BENCH_RUNS;
+use randmod_experiments::{fig1, fig4, fig5, sec44, table1, table2};
+use randmod_workloads::{EembcBenchmark, SyntheticKernel};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("paper/table1_hwcost", |b| {
+        b.iter(|| {
+            let report = table1::generate();
+            assert!(report.area_ratio() > 5.0);
+            black_box(report)
+        })
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/fig1_pwcet_curve");
+    group.sample_size(10);
+    group.bench_function("generate", |b| {
+        b.iter(|| {
+            let result = fig1::generate(BENCH_RUNS, 1).expect("valid platform");
+            assert_eq!(result.points.len(), 18);
+            black_box(result)
+        })
+    });
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/table2_iid_tests");
+    group.sample_size(10);
+    group.bench_function("one_benchmark_row", |b| {
+        b.iter(|| {
+            let row = table2::row_for(EembcBenchmark::Puwmod, BENCH_RUNS, 2).expect("valid platform");
+            assert!(row.ww_statistic.is_finite());
+            black_box(row)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig4a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/fig4a_rm_vs_hrp");
+    group.sample_size(10);
+    group.bench_function("one_benchmark_row", |b| {
+        b.iter(|| {
+            let row = fig4::fig4a_row(EembcBenchmark::Bitmnp, BENCH_RUNS, 3).expect("valid platform");
+            assert!(row.pwcet_rm > 0.0 && row.pwcet_hrp > 0.0);
+            black_box(row)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig4b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/fig4b_rm_vs_det");
+    group.sample_size(10);
+    group.bench_function("one_benchmark_row", |b| {
+        b.iter(|| {
+            let row =
+                fig4::fig4b_row(EembcBenchmark::Rspeed, BENCH_RUNS, 8, 4).expect("valid platform");
+            assert!(row.deterministic_hwm.value() > 0);
+            black_box(row)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/fig5_synthetic");
+    group.sample_size(10);
+    group.bench_function("20kb_comparison", |b| {
+        b.iter(|| {
+            let result = fig5::compare(
+                SyntheticKernel::with_traversals(20 * 1024, 5),
+                BENCH_RUNS,
+                5,
+            )
+            .expect("valid platform");
+            assert!(result.hrp_pwcet >= result.rm_pwcet * 0.9);
+            black_box(result)
+        })
+    });
+    group.finish();
+}
+
+fn bench_sec44(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper/sec44_avg_performance");
+    group.sample_size(10);
+    group.bench_function("one_benchmark_row", |b| {
+        b.iter(|| {
+            let row = sec44::row_for(EembcBenchmark::Rspeed, BENCH_RUNS, 6).expect("valid platform");
+            assert!(row.modulo_cycles > 0.0);
+            black_box(row)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig1,
+    bench_table2,
+    bench_fig4a,
+    bench_fig4b,
+    bench_fig5,
+    bench_sec44
+);
+criterion_main!(benches);

@@ -1,0 +1,624 @@
+//! A set-associative cache model with pluggable placement and replacement.
+//!
+//! The model is *functional*: it tracks which lines are resident and reports
+//! hits, misses, evictions and write-backs.  Timing (hit/miss latencies,
+//! multi-level hierarchies) is layered on top by `randmod-sim`.
+//!
+//! Two aspects mirror the paper's hardware discussion:
+//!
+//! * **Seed changes flush the cache.**  Every new seed selects a new cache
+//!   layout, so resident contents become unreachable; [`SetAssocCache::reseed`]
+//!   therefore invalidates everything, like the real design.
+//! * **Index storage in the tag array.**  With hRP the set a line sits in is
+//!   not recoverable from its tag, so the index bits must be stored with the
+//!   tag (extra area, modelled in `randmod-hwcost`).  The functional model
+//!   stores the full line address for all policies so hit/miss behaviour is
+//!   exact regardless of policy.
+
+use crate::address::{Address, CacheGeometry, LineAddr};
+use crate::error::ConfigError;
+use crate::placement::{PlacementKind, PlacementPolicy};
+use crate::prng::CombinedLfsr;
+use crate::replacement::{ReplacementKind, ReplacementSet};
+use std::fmt;
+
+/// What kind of memory access is being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch (goes to the instruction cache).
+    InstructionFetch,
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+}
+
+impl AccessKind {
+    /// Whether this access writes data.
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+/// Write policy of the cache.
+///
+/// The paper notes that safety-critical first-level caches are typically
+/// write-through (no dirty lines, no index bits needed in the tag array for
+/// RM), while write-back caches additionally need the index to rebuild the
+/// victim address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Stores update memory immediately; store misses do not allocate.
+    WriteThrough,
+    /// Stores dirty the line; dirty victims are written back on eviction.
+    WriteBack,
+}
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The line address that was evicted.
+    pub line: LineAddr,
+    /// Whether the line was dirty (requires a write-back on a write-back
+    /// cache).
+    pub dirty: bool,
+}
+
+/// Result of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was resident.
+    Hit {
+        /// The way it was found in.
+        way: u32,
+    },
+    /// The line was not resident.
+    Miss {
+        /// Whether the line was brought into the cache (write-through
+        /// store misses do not allocate).
+        allocated: bool,
+        /// The line that was displaced, if any.
+        evicted: Option<EvictedLine>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub const fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit { .. })
+    }
+
+    /// Whether the access missed.
+    pub const fn is_miss(&self) -> bool {
+        !self.is_hit()
+    }
+
+    /// Whether the access caused a dirty eviction (a write-back).
+    pub fn caused_writeback(&self) -> bool {
+        matches!(
+            self,
+            AccessOutcome::Miss {
+                evicted: Some(EvictedLine { dirty: true, .. }),
+                ..
+            }
+        )
+    }
+}
+
+/// Hit/miss statistics accumulated by a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Misses that allocated a line.
+    pub fills: u64,
+    /// Evictions of valid lines.
+    pub evictions: u64,
+    /// Dirty evictions (write-backs).
+    pub writebacks: u64,
+    /// Store accesses.
+    pub stores: u64,
+    /// Whole-cache flushes (seed changes).
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio (0 when there were no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit ratio (0 when there were no accesses).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} misses ({:.2}% miss ratio)",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.miss_ratio() * 100.0
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct CacheLine {
+    valid: bool,
+    dirty: bool,
+    line: LineAddr,
+}
+
+#[derive(Debug, Clone)]
+struct CacheSet {
+    lines: Vec<CacheLine>,
+    replacement: ReplacementSet,
+}
+
+/// A set-associative cache with pluggable placement and replacement.
+///
+/// ```
+/// use randmod_core::{CacheGeometry, Address, PlacementKind, ReplacementKind};
+/// use randmod_core::cache::{SetAssocCache, AccessKind, WritePolicy};
+///
+/// # fn main() -> Result<(), randmod_core::ConfigError> {
+/// let mut cache = SetAssocCache::with_kinds(
+///     CacheGeometry::leon3_l1(),
+///     PlacementKind::RandomModulo,
+///     ReplacementKind::Random,
+///     WritePolicy::WriteThrough,
+/// )?;
+/// cache.reseed(7);
+/// assert!(cache.access(Address::new(0x100), AccessKind::Load).is_miss());
+/// assert!(cache.access(Address::new(0x100), AccessKind::Load).is_hit());
+/// assert_eq!(cache.stats().misses, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    placement: Box<dyn PlacementPolicy>,
+    write_policy: WritePolicy,
+    sets: Vec<CacheSet>,
+    rng: CombinedLfsr,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates a cache from an already-built placement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement policy was built for a different geometry.
+    pub fn new(
+        geometry: CacheGeometry,
+        placement: Box<dyn PlacementPolicy>,
+        replacement: ReplacementKind,
+        write_policy: WritePolicy,
+    ) -> Self {
+        assert_eq!(
+            placement.geometry(),
+            geometry,
+            "placement policy geometry does not match the cache geometry"
+        );
+        let sets = (0..geometry.sets())
+            .map(|_| CacheSet {
+                lines: vec![CacheLine::default(); geometry.ways() as usize],
+                replacement: ReplacementSet::new(replacement, geometry.ways()),
+            })
+            .collect();
+        SetAssocCache {
+            geometry,
+            placement,
+            write_policy,
+            sets,
+            rng: CombinedLfsr::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a cache from policy identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the placement policy cannot be built for
+    /// this geometry.
+    pub fn with_kinds(
+        geometry: CacheGeometry,
+        placement: PlacementKind,
+        replacement: ReplacementKind,
+        write_policy: WritePolicy,
+    ) -> Result<Self, ConfigError> {
+        Ok(Self::new(
+            geometry,
+            placement.build(geometry)?,
+            replacement,
+            write_policy,
+        ))
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// The placement policy in use.
+    pub fn placement(&self) -> &dyn PlacementPolicy {
+        self.placement.as_ref()
+    }
+
+    /// The write policy in use.
+    pub fn write_policy(&self) -> WritePolicy {
+        self.write_policy
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears the statistics (the contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Installs a new placement seed and flushes the contents, as the
+    /// hardware does on a seed change.
+    pub fn reseed(&mut self, seed: u64) {
+        self.placement.reseed(seed);
+        self.rng = CombinedLfsr::new(seed ^ 0x5EED_5EED_5EED_5EED);
+        self.flush();
+    }
+
+    /// Invalidates every line (dirty contents are discarded; the caller is
+    /// responsible for modelling any write-back traffic if needed).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in &mut set.lines {
+                *line = CacheLine::default();
+            }
+            set.replacement.reset();
+        }
+        self.stats.flushes += 1;
+    }
+
+    /// Checks whether the line holding `addr` is resident, without updating
+    /// any state or statistics.
+    pub fn contains(&self, addr: Address) -> bool {
+        let line = self.geometry.line_addr(addr);
+        let set = &self.sets[self.placement.set_index_of_line(line) as usize];
+        set.lines.iter().any(|l| l.valid && l.line == line)
+    }
+
+    /// Number of valid lines currently resident in set `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= sets`.
+    pub fn set_occupancy(&self, index: u32) -> u32 {
+        self.sets[index as usize]
+            .lines
+            .iter()
+            .filter(|l| l.valid)
+            .count() as u32
+    }
+
+    /// Performs one access and returns its outcome.
+    pub fn access(&mut self, addr: Address, kind: AccessKind) -> AccessOutcome {
+        let line = self.geometry.line_addr(addr);
+        let set_index = self.placement.set_index_of_line(line) as usize;
+        self.stats.accesses += 1;
+        if kind.is_write() {
+            self.stats.stores += 1;
+        }
+
+        let set = &mut self.sets[set_index];
+        if let Some(way) = set
+            .lines
+            .iter()
+            .position(|l| l.valid && l.line == line)
+            .map(|w| w as u32)
+        {
+            self.stats.hits += 1;
+            set.replacement.touch(way);
+            if kind.is_write() && self.write_policy == WritePolicy::WriteBack {
+                set.lines[way as usize].dirty = true;
+            }
+            return AccessOutcome::Hit { way };
+        }
+
+        self.stats.misses += 1;
+
+        // Write-through caches do not allocate on store misses: the store
+        // goes straight to the next level.
+        let allocate = !(kind.is_write() && self.write_policy == WritePolicy::WriteThrough);
+        if !allocate {
+            return AccessOutcome::Miss {
+                allocated: false,
+                evicted: None,
+            };
+        }
+
+        self.stats.fills += 1;
+        // Prefer an invalid way; otherwise ask the replacement policy.
+        let way = match set.lines.iter().position(|l| !l.valid) {
+            Some(w) => w as u32,
+            None => set.replacement.victim(&mut self.rng),
+        };
+        let victim = &mut set.lines[way as usize];
+        let evicted = if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(EvictedLine {
+                line: victim.line,
+                dirty: victim.dirty,
+            })
+        } else {
+            None
+        };
+        *victim = CacheLine {
+            valid: true,
+            dirty: kind.is_write() && self.write_policy == WritePolicy::WriteBack,
+            line,
+        };
+        set.replacement.touch(way);
+        AccessOutcome::Miss {
+            allocated: true,
+            evicted,
+        }
+    }
+
+    /// Returns the set index the current layout assigns to `addr`.
+    pub fn set_index_of(&self, addr: Address) -> u32 {
+        self.placement.set_index(addr)
+    }
+
+    /// Total number of valid lines in the cache.
+    pub fn resident_lines(&self) -> u32 {
+        (0..self.geometry.sets()).map(|s| self.set_occupancy(s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(placement: PlacementKind, write_policy: WritePolicy) -> SetAssocCache {
+        // 8 sets x 2 ways x 32B lines = 512B: small enough to force
+        // evictions quickly in tests.
+        let geometry = CacheGeometry::new(8, 2, 32).unwrap();
+        SetAssocCache::with_kinds(geometry, placement, ReplacementKind::Lru, write_policy).unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut cache = small_cache(PlacementKind::Modulo, WritePolicy::WriteThrough);
+        let addr = Address::new(0x40);
+        assert!(cache.access(addr, AccessKind::Load).is_miss());
+        assert!(cache.access(addr, AccessKind::Load).is_hit());
+        assert_eq!(cache.stats().accesses, 2);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_bytes_hit() {
+        let mut cache = small_cache(PlacementKind::Modulo, WritePolicy::WriteThrough);
+        assert!(cache.access(Address::new(0x100), AccessKind::Load).is_miss());
+        assert!(cache.access(Address::new(0x11F), AccessKind::Load).is_hit());
+    }
+
+    #[test]
+    fn capacity_eviction_with_lru() {
+        let mut cache = small_cache(PlacementKind::Modulo, WritePolicy::WriteThrough);
+        // Three lines that all map to set 0 (stride = 8 sets * 32B = 256B).
+        let a = Address::new(0);
+        let b = Address::new(256);
+        let c = Address::new(512);
+        cache.access(a, AccessKind::Load);
+        cache.access(b, AccessKind::Load);
+        let outcome = cache.access(c, AccessKind::Load);
+        assert!(outcome.is_miss());
+        assert!(matches!(outcome, AccessOutcome::Miss { evicted: Some(_), .. }));
+        // `a` was the LRU line, so it must be gone while `b` survived.
+        assert!(!cache.contains(a));
+        assert!(cache.contains(b));
+        assert!(cache.contains(c));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn write_through_store_miss_does_not_allocate() {
+        let mut cache = small_cache(PlacementKind::Modulo, WritePolicy::WriteThrough);
+        let addr = Address::new(0x80);
+        let outcome = cache.access(addr, AccessKind::Store);
+        assert_eq!(
+            outcome,
+            AccessOutcome::Miss {
+                allocated: false,
+                evicted: None
+            }
+        );
+        assert!(!cache.contains(addr));
+        assert_eq!(cache.stats().fills, 0);
+    }
+
+    #[test]
+    fn write_back_store_miss_allocates_and_dirties() {
+        let mut cache = small_cache(PlacementKind::Modulo, WritePolicy::WriteBack);
+        let a = Address::new(0);
+        let b = Address::new(256);
+        let c = Address::new(512);
+        cache.access(a, AccessKind::Store);
+        cache.access(b, AccessKind::Load);
+        // Evicting the dirty line must produce a write-back.
+        let outcome = cache.access(c, AccessKind::Load);
+        assert!(outcome.caused_writeback());
+        assert_eq!(cache.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_through_never_writes_back() {
+        let mut cache = small_cache(PlacementKind::Modulo, WritePolicy::WriteThrough);
+        for i in 0..64u64 {
+            cache.access(Address::new(i * 32), AccessKind::Store);
+            cache.access(Address::new(i * 32), AccessKind::Load);
+        }
+        assert_eq!(cache.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn reseed_flushes_contents() {
+        let mut cache = small_cache(PlacementKind::RandomModulo, WritePolicy::WriteThrough);
+        let addr = Address::new(0x40);
+        cache.access(addr, AccessKind::Load);
+        assert!(cache.contains(addr));
+        cache.reseed(99);
+        assert!(!cache.contains(addr));
+        assert!(cache.access(addr, AccessKind::Load).is_miss());
+        assert!(cache.stats().flushes >= 1);
+    }
+
+    #[test]
+    fn flush_resets_occupancy() {
+        let mut cache = small_cache(PlacementKind::Modulo, WritePolicy::WriteThrough);
+        for i in 0..16u64 {
+            cache.access(Address::new(i * 32), AccessKind::Load);
+        }
+        assert_eq!(cache.resident_lines(), 16);
+        cache.flush();
+        assert_eq!(cache.resident_lines(), 0);
+    }
+
+    #[test]
+    fn working_set_fitting_in_cache_has_no_conflict_misses_with_modulo() {
+        // 8 sets x 2 ways: 16 consecutive lines fit exactly; after the cold
+        // pass every access must hit.
+        let mut cache = small_cache(PlacementKind::Modulo, WritePolicy::WriteThrough);
+        let lines: Vec<Address> = (0..16u64).map(|i| Address::new(i * 32)).collect();
+        for &a in &lines {
+            cache.access(a, AccessKind::Load);
+        }
+        cache.reset_stats();
+        for _ in 0..10 {
+            for &a in &lines {
+                assert!(cache.access(a, AccessKind::Load).is_hit());
+            }
+        }
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn working_set_fitting_in_cache_has_no_conflict_misses_with_rm() {
+        // The headline property of RM: consecutive lines that fit in the
+        // cache never conflict, for any seed.
+        let geometry = CacheGeometry::new(8, 2, 32).unwrap();
+        for seed in [1u64, 2, 3, 0xFFFF, 0xABCD_EF01] {
+            let mut cache = SetAssocCache::with_kinds(
+                geometry,
+                PlacementKind::RandomModulo,
+                ReplacementKind::Lru,
+                WritePolicy::WriteThrough,
+            )
+            .unwrap();
+            cache.reseed(seed);
+            let lines: Vec<Address> = (0..16u64).map(|i| Address::new(i * 32)).collect();
+            for &a in &lines {
+                cache.access(a, AccessKind::Load);
+            }
+            cache.reset_stats();
+            for _ in 0..5 {
+                for &a in &lines {
+                    cache.access(a, AccessKind::Load);
+                }
+            }
+            assert_eq!(cache.stats().misses, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stats_display_and_ratios() {
+        let mut cache = small_cache(PlacementKind::Modulo, WritePolicy::WriteThrough);
+        cache.access(Address::new(0), AccessKind::Load);
+        cache.access(Address::new(0), AccessKind::Load);
+        let stats = cache.stats();
+        assert!((stats.miss_ratio() - 0.5).abs() < 1e-12);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+        assert!(stats.to_string().contains("2 accesses"));
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn set_index_of_respects_placement() {
+        let cache = small_cache(PlacementKind::Modulo, WritePolicy::WriteThrough);
+        assert_eq!(cache.set_index_of(Address::new(0)), 0);
+        assert_eq!(cache.set_index_of(Address::new(32)), 1);
+    }
+
+    #[test]
+    fn invalid_ways_are_filled_before_eviction() {
+        let mut cache = small_cache(PlacementKind::Modulo, WritePolicy::WriteThrough);
+        let a = Address::new(0);
+        let b = Address::new(256);
+        assert!(matches!(
+            cache.access(a, AccessKind::Load),
+            AccessOutcome::Miss { evicted: None, .. }
+        ));
+        assert!(matches!(
+            cache.access(b, AccessKind::Load),
+            AccessOutcome::Miss { evicted: None, .. }
+        ));
+        assert!(cache.contains(a) && cache.contains(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the cache geometry")]
+    fn mismatched_placement_geometry_panics() {
+        let g1 = CacheGeometry::new(8, 2, 32).unwrap();
+        let g2 = CacheGeometry::new(16, 2, 32).unwrap();
+        let placement = PlacementKind::Modulo.build(g2).unwrap();
+        let _ = SetAssocCache::new(g1, placement, ReplacementKind::Lru, WritePolicy::WriteThrough);
+    }
+
+    #[test]
+    fn random_replacement_cache_is_deterministic_per_seed() {
+        let geometry = CacheGeometry::new(8, 2, 32).unwrap();
+        let run = |seed: u64| -> (u64, u64) {
+            let mut cache = SetAssocCache::with_kinds(
+                geometry,
+                PlacementKind::HashRandom,
+                ReplacementKind::Random,
+                WritePolicy::WriteThrough,
+            )
+            .unwrap();
+            cache.reseed(seed);
+            for i in 0..2000u64 {
+                let addr = Address::new((i * 7919) % 4096 * 32);
+                cache.access(addr, AccessKind::Load);
+            }
+            (cache.stats().hits, cache.stats().misses)
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

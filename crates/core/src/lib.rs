@@ -1,0 +1,69 @@
+//! # randmod-core
+//!
+//! Core library of the *Random Modulo* reproduction (Hernández et al.,
+//! DAC 2016): MBPTA-compliant cache placement policies and the
+//! set-associative cache model they plug into.
+//!
+//! The crate provides:
+//!
+//! * [`CacheGeometry`] and [`Address`] — cache dimensioning and address
+//!   bit-field arithmetic (offset / index / tag / cache segment).
+//! * [`prng`] — hardware-style pseudo-random number generators used to draw
+//!   the per-run placement seeds (a combined-LFSR generator in the spirit of
+//!   the IEC-61508 SIL3 PRNG the paper relies on).
+//! * [`benes`] — a general Benes permutation network with a routing
+//!   algorithm, the hardware substrate of Random Modulo.
+//! * [`placement`] — the placement policies compared in the paper:
+//!   deterministic modulo, deterministic XOR hashing, hash-based random
+//!   placement (hRP) and Random Modulo (RM).
+//! * [`replacement`] — random / LRU / round-robin replacement.
+//! * [`cache`] — a set-associative cache model with pluggable placement and
+//!   replacement, per-access outcomes and statistics.
+//! * [`layout`] — cache-layout census utilities (conflict counting,
+//!   per-set occupancy) used by the analysis figures and the test-suite.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use randmod_core::{CacheGeometry, Address, PlacementKind, ReplacementKind};
+//! use randmod_core::cache::{SetAssocCache, AccessKind, WritePolicy};
+//!
+//! # fn main() -> Result<(), randmod_core::ConfigError> {
+//! // LEON3-like 16KB, 4-way, 32-byte-line first-level cache.
+//! let geometry = CacheGeometry::new(128, 4, 32)?;
+//! let mut cache = SetAssocCache::new(
+//!     geometry,
+//!     PlacementKind::RandomModulo.build(geometry)?,
+//!     ReplacementKind::Random,
+//!     WritePolicy::WriteThrough,
+//! );
+//! cache.reseed(0xDEAD_BEEF_CAFE_F00D);
+//! let outcome = cache.access(Address::new(0x4000_1040), AccessKind::Load);
+//! assert!(outcome.is_miss());
+//! let outcome = cache.access(Address::new(0x4000_1040), AccessKind::Load);
+//! assert!(outcome.is_hit());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod benes;
+pub mod cache;
+pub mod error;
+pub mod layout;
+pub mod placement;
+pub mod prng;
+pub mod replacement;
+
+pub use address::{Address, CacheGeometry, LineAddr};
+pub use cache::{AccessKind, AccessOutcome, CacheStats, SetAssocCache, WritePolicy};
+pub use error::ConfigError;
+pub use placement::{
+    HashRandomPlacement, ModuloPlacement, PlacementKind, PlacementPolicy, RandomModuloPlacement,
+    XorPlacement,
+};
+pub use prng::{CombinedLfsr, SeedSequence, SplitMix64};
+pub use replacement::ReplacementKind;

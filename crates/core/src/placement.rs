@@ -1,0 +1,858 @@
+//! Cache placement policies: modulo, deterministic XOR hashing, hash-based
+//! random placement (hRP) and Random Modulo (RM).
+//!
+//! A *placement policy* decides which cache set a memory address is mapped
+//! to.  The paper compares:
+//!
+//! * [`ModuloPlacement`] — the conventional design: the set index is simply
+//!   the low bits of the line address.  Contiguous lines never conflict while
+//!   they fit in one way, but the cache layout is a deterministic function of
+//!   where the program is placed in memory, which makes measurement-based
+//!   timing analysis fragile (cache risk patterns may never show up in the
+//!   analysis runs).
+//! * [`XorPlacement`] — a deterministic XOR-folding hash (related work
+//!   [González et al., ICS'97]).  It removes some pathological patterns but
+//!   is still deterministic, hence not MBPTA-compliant.
+//! * [`HashRandomPlacement`] (hRP) — the existing MBPTA-compliant design:
+//!   a parametric hash of *all* upper address bits and a per-run random
+//!   seed, built from rotate blocks and XOR gates.  Every address is mapped
+//!   (pseudo-)uniformly to any set, so even a handful of contiguous lines
+//!   can collide in the same set with non-negligible probability.
+//! * [`RandomModuloPlacement`] (RM) — the paper's contribution: a per-run,
+//!   per-segment *permutation* of the modulo index bits implemented with a
+//!   Benes network whose control word is derived from the upper address bits
+//!   and the seed.  Within one cache segment the mapping stays a bijection,
+//!   so spatial locality is preserved exactly like modulo, while layouts
+//!   still change randomly across runs as MBPTA requires.
+
+use crate::address::{Address, CacheGeometry, LineAddr};
+use crate::benes::BenesNetwork;
+use crate::error::ConfigError;
+use crate::prng::SplitMix64;
+use std::fmt;
+use std::str::FromStr;
+
+/// Common interface of all placement policies.
+///
+/// Implementations are deterministic functions of `(line address, seed)`:
+/// re-installing the same seed always reproduces the same cache layout,
+/// which is what lets MBPTA reason probabilistically about layouts.
+pub trait PlacementPolicy: fmt::Debug + Send + Sync {
+    /// The geometry this policy was built for.
+    fn geometry(&self) -> CacheGeometry;
+
+    /// Maps a line address to a set index in `0..sets`.
+    fn set_index_of_line(&self, line: LineAddr) -> u32;
+
+    /// Maps a byte address to a set index in `0..sets`.
+    fn set_index(&self, addr: Address) -> u32 {
+        self.set_index_of_line(self.geometry().line_addr(addr))
+    }
+
+    /// Installs a new random seed, i.e. selects a new cache layout.
+    /// Deterministic policies ignore the seed.
+    fn reseed(&mut self, seed: u64);
+
+    /// The currently installed seed.
+    fn seed(&self) -> u64;
+
+    /// Which policy this is.
+    fn kind(&self) -> PlacementKind;
+
+    /// Whether the layout depends on the seed (i.e. the policy is
+    /// time-randomised and therefore a candidate for MBPTA).
+    fn is_randomized(&self) -> bool {
+        self.kind().is_randomized()
+    }
+
+    /// Whether the set index must be stored alongside the tag because it
+    /// cannot be reconstructed from the tag bits alone (true for hRP; false
+    /// for modulo and, on write-through caches, for RM).
+    fn stores_index_in_tag(&self) -> bool {
+        self.kind().stores_index_in_tag()
+    }
+
+    /// Clones the policy into a new boxed trait object.
+    fn clone_box(&self) -> Box<dyn PlacementPolicy>;
+}
+
+impl Clone for Box<dyn PlacementPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Identifier of a placement policy, used to configure caches and
+/// experiments.
+///
+/// ```
+/// use randmod_core::{PlacementKind, CacheGeometry};
+///
+/// # fn main() -> Result<(), randmod_core::ConfigError> {
+/// let policy = PlacementKind::RandomModulo.build(CacheGeometry::leon3_l1())?;
+/// assert!(policy.is_randomized());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PlacementKind {
+    /// Conventional modulo placement (deterministic).
+    Modulo,
+    /// Deterministic XOR-folding hash placement.
+    Xor,
+    /// Hash-based random placement (hRP).
+    HashRandom,
+    /// Random Modulo placement (RM) — the paper's contribution.
+    RandomModulo,
+}
+
+impl PlacementKind {
+    /// All policy kinds, in the order used throughout the experiments.
+    pub const ALL: [PlacementKind; 4] = [
+        PlacementKind::Modulo,
+        PlacementKind::Xor,
+        PlacementKind::HashRandom,
+        PlacementKind::RandomModulo,
+    ];
+
+    /// Whether the policy's layout depends on the per-run seed.
+    pub const fn is_randomized(self) -> bool {
+        matches!(self, PlacementKind::HashRandom | PlacementKind::RandomModulo)
+    }
+
+    /// Whether the policy requires index bits to be stored in the tag array
+    /// (needed when the index is not a pure function of the tag bits and the
+    /// set the line sits in).
+    pub const fn stores_index_in_tag(self) -> bool {
+        matches!(self, PlacementKind::HashRandom)
+    }
+
+    /// Short name used in experiment output.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            PlacementKind::Modulo => "MOD",
+            PlacementKind::Xor => "XOR",
+            PlacementKind::HashRandom => "hRP",
+            PlacementKind::RandomModulo => "RM",
+        }
+    }
+
+    /// Builds a boxed policy instance for the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the geometry cannot support the policy
+    /// (currently never: all supported geometries work with all policies).
+    pub fn build(self, geometry: CacheGeometry) -> Result<Box<dyn PlacementPolicy>, ConfigError> {
+        Ok(match self {
+            PlacementKind::Modulo => Box::new(ModuloPlacement::new(geometry)),
+            PlacementKind::Xor => Box::new(XorPlacement::new(geometry)),
+            PlacementKind::HashRandom => Box::new(HashRandomPlacement::new(geometry)),
+            PlacementKind::RandomModulo => Box::new(RandomModuloPlacement::new(geometry)),
+        })
+    }
+}
+
+impl fmt::Display for PlacementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PlacementKind::Modulo => "modulo",
+            PlacementKind::Xor => "xor",
+            PlacementKind::HashRandom => "hrp",
+            PlacementKind::RandomModulo => "random-modulo",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for PlacementKind {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "modulo" | "mod" => Ok(PlacementKind::Modulo),
+            "xor" => Ok(PlacementKind::Xor),
+            "hrp" | "hash" | "hash-random" => Ok(PlacementKind::HashRandom),
+            "rm" | "random-modulo" | "randommodulo" => Ok(PlacementKind::RandomModulo),
+            other => Err(ConfigError::Inconsistent {
+                reason: format!("unknown placement policy '{other}'"),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Modulo
+// ---------------------------------------------------------------------------
+
+/// Conventional modulo placement: the set index is the low bits of the line
+/// address.  The layout is independent of the seed.
+///
+/// ```
+/// use randmod_core::{ModuloPlacement, CacheGeometry, Address};
+/// use randmod_core::placement::PlacementPolicy;
+///
+/// let policy = ModuloPlacement::new(CacheGeometry::leon3_l1());
+/// assert_eq!(policy.set_index(Address::new(0x0)), 0);
+/// assert_eq!(policy.set_index(Address::new(32)), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuloPlacement {
+    geometry: CacheGeometry,
+    seed: u64,
+}
+
+impl ModuloPlacement {
+    /// Creates a modulo placement for the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        ModuloPlacement { geometry, seed: 0 }
+    }
+}
+
+impl PlacementPolicy for ModuloPlacement {
+    fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_index_of_line(&self, line: LineAddr) -> u32 {
+        self.geometry.modulo_index_of_line(line)
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        // Modulo placement is deterministic: the seed is recorded only so
+        // callers can query it uniformly across policies.
+        self.seed = seed;
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn kind(&self) -> PlacementKind {
+        PlacementKind::Modulo
+    }
+
+    fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic XOR placement
+// ---------------------------------------------------------------------------
+
+/// Deterministic XOR-folding placement (related work: XOR-based placement
+/// functions).  All index-width chunks of the line address are XORed
+/// together.  Like modulo it is a fixed hash, so pathological access
+/// patterns repeat systematically for a given memory layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorPlacement {
+    geometry: CacheGeometry,
+    seed: u64,
+}
+
+impl XorPlacement {
+    /// Creates an XOR placement for the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        XorPlacement { geometry, seed: 0 }
+    }
+}
+
+impl PlacementPolicy for XorPlacement {
+    fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_index_of_line(&self, line: LineAddr) -> u32 {
+        let n = self.geometry.index_bits();
+        let mask = (self.geometry.sets() - 1) as u64;
+        let mut value = line.raw();
+        let mut folded = 0u64;
+        while value != 0 {
+            folded ^= value & mask;
+            value >>= n;
+        }
+        folded as u32
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn kind(&self) -> PlacementKind {
+        PlacementKind::Xor
+    }
+
+    fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash-based random placement (hRP)
+// ---------------------------------------------------------------------------
+
+/// Hash-based random placement (hRP), the pre-existing MBPTA-compliant
+/// design the paper compares against.
+///
+/// The hardware consists of rotate blocks driven by the address bits acting
+/// on seed material, combined by a tree of 2-input XOR gates (Figure 2 of
+/// the paper).  Behaviourally, every line address is mapped to a set
+/// (pseudo-)uniformly and (pseudo-)independently for each seed, so:
+///
+/// * the distribution of addresses over sets is homogeneous (~`1/S` per
+///   set), which keeps conflicts low *on average*, but
+/// * even two *contiguous* lines can land in the same set with probability
+///   of about `1/S` per run — the cache-risk-pattern inflation that Random
+///   Modulo removes.
+///
+/// ```
+/// use randmod_core::{HashRandomPlacement, CacheGeometry, Address};
+/// use randmod_core::placement::PlacementPolicy;
+///
+/// let mut policy = HashRandomPlacement::new(CacheGeometry::leon3_l1());
+/// policy.reseed(1);
+/// let a = policy.set_index(Address::new(0x1000));
+/// policy.reseed(2);
+/// let b = policy.set_index(Address::new(0x1000));
+/// // The mapping of a given address usually changes with the seed.
+/// assert!(a < 128 && b < 128);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRandomPlacement {
+    geometry: CacheGeometry,
+    seed: u64,
+    /// Round keys derived from the seed (the parametric part of the hash,
+    /// the `RII` input of Figure 2).
+    round_keys: [u64; 4],
+}
+
+impl HashRandomPlacement {
+    /// Creates an hRP placement for the given geometry (seed 0 installed).
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let mut policy = HashRandomPlacement {
+            geometry,
+            seed: 0,
+            round_keys: [0; 4],
+        };
+        policy.reseed(0);
+        policy
+    }
+
+    /// The parametric rotate/XOR hash.
+    ///
+    /// The hardware of Figure 2 is a layer of rotate blocks whose rotation
+    /// amounts depend on address bits and the random seed, combined by a
+    /// cascade of 2-input XOR gates.  This software model uses four
+    /// rotate/XOR rounds with data- and seed-driven rotation amounts, which
+    /// reproduces the statistical behaviour that matters for the paper's
+    /// evaluation: every address is mapped (pseudo-)uniformly to the sets,
+    /// and any pair of addresses — contiguous or not — collides in the same
+    /// set with probability of about `1/S` per seed.
+    #[inline]
+    fn parametric_hash(&self, line: u64) -> u64 {
+        let [k0, k1, k2, k3] = self.round_keys;
+        let mut x = line ^ k0;
+        x = x.rotate_left(((k1 as u32) ^ (x as u32)) & 63) ^ k1;
+        x ^= x >> 31;
+        x = x.rotate_left((((k2 >> 32) as u32) ^ ((x >> 7) as u32)) & 63) ^ k2;
+        x ^= x >> 27;
+        x = x.rotate_left(((k3 as u32) ^ ((x >> 13) as u32)) & 63) ^ k3;
+        x ^= x >> 33;
+        x = x.rotate_left((((k0 >> 17) as u32) ^ ((x >> 23) as u32)) & 63) ^ (k1 ^ k2);
+        x ^= x >> 29;
+        x
+    }
+}
+
+impl PlacementPolicy for HashRandomPlacement {
+    fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_index_of_line(&self, line: LineAddr) -> u32 {
+        let n = self.geometry.index_bits();
+        if n == 0 {
+            return 0;
+        }
+        let mask = (self.geometry.sets() - 1) as u64;
+        let hashed = self.parametric_hash(line.raw());
+        // Final XOR-folding cascade down to the index width.
+        let mut folded = 0u64;
+        let mut value = hashed;
+        while value != 0 {
+            folded ^= value & mask;
+            value >>= n;
+        }
+        folded as u32
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        let mut sm = SplitMix64::new(seed ^ 0x6852_5EED_u64);
+        for key in &mut self.round_keys {
+            *key = sm.next_u64();
+        }
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn kind(&self) -> PlacementKind {
+        PlacementKind::HashRandom
+    }
+
+    fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random Modulo (RM)
+// ---------------------------------------------------------------------------
+
+/// Random Modulo placement — the paper's contribution.
+///
+/// RM permutes the modulo index bits of every address with a Benes network.
+/// The control word of the network is derived from the upper address bits
+/// (the cache-segment identity) combined with the per-run random seed, so:
+///
+/// * within a cache segment the mapping of index values is a *bijection*:
+///   two addresses of the same segment that modulo places in different sets
+///   are **always** placed in different sets (spatial locality is preserved,
+///   exactly like modulo);
+/// * across segments and across runs, layouts vary randomly, giving every
+///   potential cache layout a probability of occurrence, as MBPTA requires;
+/// * the added hardware is a thin layer of pass-gate switches plus one XOR
+///   stage for the control word, which is why it is much smaller and faster
+///   than the hRP hash (Table 1 of the paper, reproduced by
+///   `randmod-hwcost`).
+///
+/// ```
+/// use randmod_core::{RandomModuloPlacement, CacheGeometry, Address};
+/// use randmod_core::placement::PlacementPolicy;
+///
+/// let geometry = CacheGeometry::leon3_l1();
+/// let mut policy = RandomModuloPlacement::new(geometry);
+/// policy.reseed(0xFEED_5EED);
+///
+/// // Two consecutive lines (same segment, different modulo index) never
+/// // collide, whatever the seed.
+/// let a = policy.set_index(Address::new(0x4000_0000));
+/// let b = policy.set_index(Address::new(0x4000_0020));
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomModuloPlacement {
+    geometry: CacheGeometry,
+    seed: u64,
+    network: BenesNetwork,
+    /// Seed material XORed into the control word (recomputed on reseed).
+    seed_controls: u128,
+    /// The seed bit concatenated above the upper-address bits.
+    seed_top_bit: u128,
+}
+
+impl RandomModuloPlacement {
+    /// Creates an RM placement for the given geometry (seed 0 installed).
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let network = BenesNetwork::new(geometry.index_bits().max(1) as usize);
+        let mut policy = RandomModuloPlacement {
+            geometry,
+            seed: 0,
+            network,
+            seed_controls: 0,
+            seed_top_bit: 0,
+        };
+        policy.reseed(0);
+        policy
+    }
+
+    /// Number of control bits of the underlying Benes network.
+    pub fn control_bits(&self) -> usize {
+        self.network.control_bits()
+    }
+
+    /// Computes the Benes control word for a given cache segment under the
+    /// current seed.
+    ///
+    /// Following the paper: the upper address bits are concatenated with the
+    /// uppermost bit of the seed and XORed with further seed bits, so that
+    /// small changes in the upper address bits lead to different index
+    /// permutations while the per-run seed decorrelates layouts across runs.
+    pub fn control_word_for_segment(&self, segment: u64) -> u128 {
+        let needed = self.network.control_bits();
+        if needed == 0 {
+            return 0;
+        }
+        let mask: u128 = if needed >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << needed) - 1
+        };
+        let addr_part = (segment as u128) & (mask >> 1);
+        let concatenated = addr_part | (self.seed_top_bit << (needed - 1));
+        (concatenated ^ self.seed_controls) & mask
+    }
+}
+
+impl PlacementPolicy for RandomModuloPlacement {
+    fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_index_of_line(&self, line: LineAddr) -> u32 {
+        let modulo_index = self.geometry.modulo_index_of_line(line);
+        let segment = self.geometry.segment_of_line(line);
+        let controls = self.control_word_for_segment(segment);
+        self.network.permute_bits(modulo_index, controls)
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        // Expand the seed so networks needing more than 64 control bits
+        // (index widths above 11) still get full-entropy control material.
+        let mut sm = SplitMix64::new(seed);
+        let low = sm.next_u64() as u128;
+        let high = sm.next_u64() as u128;
+        self.seed_controls = (high << 64) | low;
+        self.seed_top_bit = (seed >> 63) as u128 & 1;
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn kind(&self) -> PlacementKind {
+        PlacementKind::RandomModulo
+    }
+
+    fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn l1() -> CacheGeometry {
+        CacheGeometry::leon3_l1()
+    }
+
+    #[test]
+    fn kind_parsing_round_trips() {
+        for kind in PlacementKind::ALL {
+            let parsed: PlacementKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("nonsense".parse::<PlacementKind>().is_err());
+    }
+
+    #[test]
+    fn kind_properties() {
+        assert!(!PlacementKind::Modulo.is_randomized());
+        assert!(!PlacementKind::Xor.is_randomized());
+        assert!(PlacementKind::HashRandom.is_randomized());
+        assert!(PlacementKind::RandomModulo.is_randomized());
+        assert!(PlacementKind::HashRandom.stores_index_in_tag());
+        assert!(!PlacementKind::RandomModulo.stores_index_in_tag());
+        assert_eq!(PlacementKind::RandomModulo.short_name(), "RM");
+    }
+
+    #[test]
+    fn modulo_maps_consecutive_lines_to_consecutive_sets() {
+        let policy = ModuloPlacement::new(l1());
+        for i in 0..256u64 {
+            let addr = Address::new(i * 32);
+            assert_eq!(policy.set_index(addr), (i % 128) as u32);
+        }
+    }
+
+    #[test]
+    fn modulo_ignores_seed() {
+        let mut policy = ModuloPlacement::new(l1());
+        let addr = Address::new(0x1234_5660);
+        let before = policy.set_index(addr);
+        policy.reseed(0xABCDEF);
+        assert_eq!(policy.set_index(addr), before);
+        assert_eq!(policy.seed(), 0xABCDEF);
+    }
+
+    #[test]
+    fn xor_is_deterministic_and_ignores_seed() {
+        let mut policy = XorPlacement::new(l1());
+        let addr = Address::new(0xDEAD_BEE0);
+        let before = policy.set_index(addr);
+        policy.reseed(77);
+        assert_eq!(policy.set_index(addr), before);
+        assert!(policy.set_index(addr) < 128);
+    }
+
+    #[test]
+    fn xor_differs_from_modulo_for_far_addresses() {
+        let xor = XorPlacement::new(l1());
+        let modulo = ModuloPlacement::new(l1());
+        let differing = (0..1024u64)
+            .map(|i| Address::new(0x10_0000 + i * 4096))
+            .filter(|&a| xor.set_index(a) != modulo.set_index(a))
+            .count();
+        assert!(differing > 0);
+    }
+
+    #[test]
+    fn hrp_is_deterministic_per_seed() {
+        let mut policy = HashRandomPlacement::new(l1());
+        policy.reseed(1234);
+        let addr = Address::new(0x8000_0400);
+        let first = policy.set_index(addr);
+        let second = policy.set_index(addr);
+        assert_eq!(first, second);
+        let mut other = HashRandomPlacement::new(l1());
+        other.reseed(1234);
+        assert_eq!(other.set_index(addr), first);
+    }
+
+    #[test]
+    fn hrp_layout_changes_with_seed() {
+        let mut policy = HashRandomPlacement::new(l1());
+        let addrs: Vec<Address> = (0..64).map(|i| Address::new(0x4000_0000 + i * 32)).collect();
+        policy.reseed(1);
+        let layout_a: Vec<u32> = addrs.iter().map(|&a| policy.set_index(a)).collect();
+        policy.reseed(2);
+        let layout_b: Vec<u32> = addrs.iter().map(|&a| policy.set_index(a)).collect();
+        assert_ne!(layout_a, layout_b);
+    }
+
+    #[test]
+    fn hrp_distribution_over_sets_is_roughly_uniform() {
+        let geometry = l1();
+        let mut policy = HashRandomPlacement::new(geometry);
+        policy.reseed(0xFACE);
+        let sets = geometry.sets() as usize;
+        let mut counts = vec![0u32; sets];
+        let lines = 128 * 1024u64;
+        for i in 0..lines {
+            counts[policy.set_index_of_line(LineAddr::new(i)) as usize] += 1;
+        }
+        let expected = lines as f64 / sets as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.25, "set {s} has count {c}, expected ~{expected}");
+        }
+    }
+
+    #[test]
+    fn hrp_contiguous_lines_can_collide_with_probability_near_one_over_s() {
+        // The core observation motivating RM: under hRP, two contiguous
+        // lines (same segment, different modulo index) collide in the same
+        // set with probability on the order of 1/S per run.
+        let geometry = l1();
+        let mut policy = HashRandomPlacement::new(geometry);
+        let a = Address::new(0x4000_0000);
+        let b = Address::new(0x4000_0020); // next line, same segment
+        let runs = 20_000u32;
+        let mut collisions = 0u32;
+        for seed in 0..runs {
+            policy.reseed(seed as u64 * 0x9E37_79B9 + 17);
+            if policy.set_index(a) == policy.set_index(b) {
+                collisions += 1;
+            }
+        }
+        let p = collisions as f64 / runs as f64;
+        let one_over_s = 1.0 / geometry.sets() as f64;
+        assert!(
+            p > one_over_s * 0.2 && p < one_over_s * 5.0,
+            "collision probability {p} not in the expected band around {one_over_s}"
+        );
+    }
+
+    #[test]
+    fn hrp_pairs_far_apart_also_collide_near_one_over_s() {
+        let geometry = l1();
+        let mut policy = HashRandomPlacement::new(geometry);
+        let a = Address::new(0x4000_0000);
+        let b = Address::new(0x7354_1980);
+        let runs = 20_000u32;
+        let mut collisions = 0u32;
+        for seed in 0..runs {
+            policy.reseed(seed as u64 * 0xABCDE + 3);
+            if policy.set_index(a) == policy.set_index(b) {
+                collisions += 1;
+            }
+        }
+        let p = collisions as f64 / runs as f64;
+        let one_over_s = 1.0 / geometry.sets() as f64;
+        assert!(
+            p > one_over_s * 0.2 && p < one_over_s * 5.0,
+            "collision probability {p} not in the expected band around {one_over_s}"
+        );
+    }
+
+    #[test]
+    fn rm_defining_property_no_intra_segment_conflicts() {
+        // The defining equation of the paper: for addresses A, B in the same
+        // cache segment, set_mod(A) != set_mod(B) implies
+        // set_rm(A) != set_rm(B) for every seed.
+        let geometry = l1();
+        let mut policy = RandomModuloPlacement::new(geometry);
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX, 0x1234_5678_9ABC_DEF0] {
+            policy.reseed(seed);
+            let segment_base = Address::new(0x4000_0000);
+            let mut seen = HashSet::new();
+            for i in 0..geometry.sets() as u64 {
+                let addr = segment_base.offset(i * geometry.line_size() as u64);
+                let set = policy.set_index(addr);
+                assert!(
+                    seen.insert(set),
+                    "seed {seed:#x}: two same-segment lines mapped to set {set}"
+                );
+            }
+            assert_eq!(seen.len(), geometry.sets() as usize);
+        }
+    }
+
+    #[test]
+    fn rm_is_deterministic_per_seed() {
+        let mut a = RandomModuloPlacement::new(l1());
+        let mut b = RandomModuloPlacement::new(l1());
+        a.reseed(987);
+        b.reseed(987);
+        for i in 0..512u64 {
+            let addr = Address::new(0x10_0000 + i * 32);
+            assert_eq!(a.set_index(addr), b.set_index(addr));
+        }
+    }
+
+    #[test]
+    fn rm_layout_changes_with_seed() {
+        let mut policy = RandomModuloPlacement::new(l1());
+        let addrs: Vec<Address> = (0..128).map(|i| Address::new(0x4000_0000 + i * 32)).collect();
+        let mut distinct_layouts = HashSet::new();
+        for seed in 0..200u64 {
+            policy.reseed(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+            let layout: Vec<u32> = addrs.iter().map(|&a| policy.set_index(a)).collect();
+            distinct_layouts.insert(layout);
+        }
+        assert!(
+            distinct_layouts.len() > 100,
+            "only {} distinct layouts over 200 seeds",
+            distinct_layouts.len()
+        );
+    }
+
+    #[test]
+    fn rm_different_segments_get_different_permutations() {
+        // "small changes in address upper bits lead to different index
+        // permutations" — check that two adjacent segments usually differ.
+        let geometry = l1();
+        let mut policy = RandomModuloPlacement::new(geometry);
+        policy.reseed(0xC0FFEE);
+        let mut differing_segment_pairs = 0;
+        let total = 64;
+        for s in 0..total {
+            let seg_a = Address::new(s * geometry.way_size_bytes());
+            let seg_b = Address::new((s + 1) * geometry.way_size_bytes());
+            let layout_a: Vec<u32> = (0..geometry.sets() as u64)
+                .map(|i| policy.set_index(seg_a.offset(i * 32)))
+                .collect();
+            let layout_b: Vec<u32> = (0..geometry.sets() as u64)
+                .map(|i| policy.set_index(seg_b.offset(i * 32)))
+                .collect();
+            if layout_a != layout_b {
+                differing_segment_pairs += 1;
+            }
+        }
+        assert!(
+            differing_segment_pairs > total / 2,
+            "only {differing_segment_pairs} of {total} adjacent segment pairs differ"
+        );
+    }
+
+    #[test]
+    fn rm_covers_many_reachable_sets_for_one_address_across_seeds() {
+        // A bit-position permutation preserves the popcount of the index, so
+        // a given address can only ever reach the sets whose index has the
+        // same number of set bits as its modulo index.  Across many seeds it
+        // should visit a large fraction of those reachable sets, and never a
+        // set outside that class.
+        let geometry = l1();
+        let mut policy = RandomModuloPlacement::new(geometry);
+        let addr = Address::new(0x4000_0560);
+        let modulo_index = geometry.modulo_index(addr);
+        let popcount = modulo_index.count_ones();
+        let reachable = (0..geometry.sets()).filter(|s| s.count_ones() == popcount).count();
+        let mut visited = HashSet::new();
+        for seed in 0..4000u64 {
+            policy.reseed(seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(99));
+            let set = policy.set_index(addr);
+            assert_eq!(set.count_ones(), popcount, "bit permutation must preserve popcount");
+            visited.insert(set);
+        }
+        assert!(
+            visited.len() * 2 > reachable,
+            "address only visited {} of {} reachable sets",
+            visited.len(),
+            reachable
+        );
+    }
+
+    #[test]
+    fn rm_works_for_l2_geometry() {
+        let geometry = CacheGeometry::leon3_l2_partition();
+        let mut policy = RandomModuloPlacement::new(geometry);
+        policy.reseed(31337);
+        let mut seen = HashSet::new();
+        let base = Address::new(0x2000_0000);
+        for i in 0..geometry.sets() as u64 {
+            let set = policy.set_index(base.offset(i * geometry.line_size() as u64));
+            assert!(seen.insert(set));
+        }
+    }
+
+    #[test]
+    fn rm_control_bits_match_paper_for_eight_index_bits() {
+        let policy = RandomModuloPlacement::new(CacheGeometry::eight_index_bits());
+        assert_eq!(policy.control_bits(), 20);
+    }
+
+    #[test]
+    fn build_factory_produces_matching_kinds() {
+        for kind in PlacementKind::ALL {
+            let policy = kind.build(l1()).unwrap();
+            assert_eq!(policy.kind(), kind);
+            assert_eq!(policy.geometry(), l1());
+        }
+    }
+
+    #[test]
+    fn boxed_policy_clone_preserves_behaviour() {
+        let mut policy = PlacementKind::RandomModulo.build(l1()).unwrap();
+        policy.reseed(555);
+        let cloned = policy.clone();
+        for i in 0..64u64 {
+            let addr = Address::new(0x9000_0000 + i * 32);
+            assert_eq!(policy.set_index(addr), cloned.set_index(addr));
+        }
+    }
+
+    #[test]
+    fn all_policies_map_within_bounds() {
+        let geometry = l1();
+        let mut sm = SplitMix64::new(1);
+        for kind in PlacementKind::ALL {
+            let mut policy = kind.build(geometry).unwrap();
+            policy.reseed(9999);
+            for _ in 0..2000 {
+                let addr = Address::new(sm.next_u64() & 0xFFFF_FFFF);
+                assert!(policy.set_index(addr) < geometry.sets());
+            }
+        }
+    }
+}

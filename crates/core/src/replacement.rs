@@ -1,0 +1,264 @@
+//! Cache replacement policies.
+//!
+//! MBPTA-compliant cache designs combine random *placement* with random
+//! *replacement* (the LEON-family processors the paper targets already ship
+//! random-replacement caches).  This module provides the per-set replacement
+//! state for:
+//!
+//! * [`ReplacementKind::Random`] — evict a uniformly random way (the
+//!   MBPTA-compliant choice used throughout the paper's evaluation),
+//! * [`ReplacementKind::Lru`] — least-recently-used, the conventional
+//!   deterministic baseline,
+//! * [`ReplacementKind::RoundRobin`] — a FIFO-like pointer per set, common
+//!   in embedded cores (e.g. ARM Cortex-R configurations).
+
+use crate::prng::CombinedLfsr;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ConfigError;
+
+/// Identifier of a replacement policy.
+///
+/// ```
+/// use randmod_core::ReplacementKind;
+///
+/// assert!(ReplacementKind::Random.is_randomized());
+/// assert!(!ReplacementKind::Lru.is_randomized());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReplacementKind {
+    /// Evict a uniformly random way on a miss with a full set.
+    Random,
+    /// Evict the least recently used way.
+    Lru,
+    /// Evict ways in round-robin order (per-set pointer).
+    RoundRobin,
+}
+
+impl ReplacementKind {
+    /// All replacement kinds.
+    pub const ALL: [ReplacementKind; 3] = [
+        ReplacementKind::Random,
+        ReplacementKind::Lru,
+        ReplacementKind::RoundRobin,
+    ];
+
+    /// Whether victim selection consumes random numbers.
+    pub const fn is_randomized(self) -> bool {
+        matches!(self, ReplacementKind::Random)
+    }
+}
+
+impl fmt::Display for ReplacementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ReplacementKind::Random => "random",
+            ReplacementKind::Lru => "lru",
+            ReplacementKind::RoundRobin => "round-robin",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for ReplacementKind {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "random" | "rand" => Ok(ReplacementKind::Random),
+            "lru" => Ok(ReplacementKind::Lru),
+            "round-robin" | "roundrobin" | "fifo" => Ok(ReplacementKind::RoundRobin),
+            other => Err(ConfigError::Inconsistent {
+                reason: format!("unknown replacement policy '{other}'"),
+            }),
+        }
+    }
+}
+
+/// Per-set replacement bookkeeping.
+///
+/// The state is deliberately small (a few bytes per set) to mirror the
+/// hardware cost of the policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplacementSet {
+    kind: ReplacementKind,
+    ways: u32,
+    /// For LRU: `age[w]` is the recency rank of way `w` (0 = most recent).
+    /// For round-robin: `age[0]` holds the next victim pointer.
+    age: Vec<u32>,
+}
+
+impl ReplacementSet {
+    /// Creates replacement state for one set with `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(kind: ReplacementKind, ways: u32) -> Self {
+        assert!(ways > 0, "a set needs at least one way");
+        let age = match kind {
+            ReplacementKind::Lru => (0..ways).collect(),
+            ReplacementKind::RoundRobin => vec![0],
+            ReplacementKind::Random => Vec::new(),
+        };
+        ReplacementSet { kind, ways, age }
+    }
+
+    /// The policy this state implements.
+    pub fn kind(&self) -> ReplacementKind {
+        self.kind
+    }
+
+    /// Notifies the policy that `way` was accessed (hit or fill).
+    pub fn touch(&mut self, way: u32) {
+        debug_assert!(way < self.ways);
+        if self.kind == ReplacementKind::Lru {
+            let old_rank = self.age[way as usize];
+            for rank in self.age.iter_mut() {
+                if *rank < old_rank {
+                    *rank += 1;
+                }
+            }
+            self.age[way as usize] = 0;
+        }
+    }
+
+    /// Selects the way to evict when the set is full.
+    ///
+    /// Random replacement draws from `rng`; the other policies ignore it.
+    pub fn victim(&mut self, rng: &mut CombinedLfsr) -> u32 {
+        match self.kind {
+            ReplacementKind::Random => rng.next_below(self.ways),
+            ReplacementKind::Lru => {
+                let (way, _) = self
+                    .age
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &rank)| rank)
+                    .expect("set has at least one way");
+                way as u32
+            }
+            ReplacementKind::RoundRobin => {
+                let way = self.age[0];
+                self.age[0] = (way + 1) % self.ways;
+                way
+            }
+        }
+    }
+
+    /// Resets the state (used when the cache is flushed on a seed change).
+    pub fn reset(&mut self) {
+        match self.kind {
+            ReplacementKind::Lru => {
+                for (w, rank) in self.age.iter_mut().enumerate() {
+                    *rank = w as u32;
+                }
+            }
+            ReplacementKind::RoundRobin => self.age[0] = 0,
+            ReplacementKind::Random => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parsing_round_trips() {
+        for kind in ReplacementKind::ALL {
+            let parsed: ReplacementKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("mru".parse::<ReplacementKind>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        ReplacementSet::new(ReplacementKind::Lru, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut set = ReplacementSet::new(ReplacementKind::Lru, 4);
+        let mut rng = CombinedLfsr::new(1);
+        // Touch ways in order 0, 1, 2, 3: way 0 is now the LRU.
+        for w in 0..4 {
+            set.touch(w);
+        }
+        assert_eq!(set.victim(&mut rng), 0);
+        // Re-touch way 0; now way 1 is the LRU.
+        set.touch(0);
+        assert_eq!(set.victim(&mut rng), 1);
+    }
+
+    #[test]
+    fn lru_reset_restores_initial_order() {
+        let mut set = ReplacementSet::new(ReplacementKind::Lru, 4);
+        let mut rng = CombinedLfsr::new(1);
+        set.touch(3);
+        set.touch(0);
+        set.reset();
+        // After reset, the highest-numbered way is the least recent again.
+        assert_eq!(set.victim(&mut rng), 3);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_ways() {
+        let mut set = ReplacementSet::new(ReplacementKind::RoundRobin, 4);
+        let mut rng = CombinedLfsr::new(1);
+        let victims: Vec<u32> = (0..8).map(|_| set.victim(&mut rng)).collect();
+        assert_eq!(victims, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        set.reset();
+        assert_eq!(set.victim(&mut rng), 0);
+    }
+
+    #[test]
+    fn random_victims_cover_all_ways() {
+        let mut set = ReplacementSet::new(ReplacementKind::Random, 4);
+        let mut rng = CombinedLfsr::new(0xFEED);
+        let mut counts = [0u32; 4];
+        let draws = 40_000;
+        for _ in 0..draws {
+            counts[set.victim(&mut rng) as usize] += 1;
+        }
+        let expected = draws as f64 / 4.0;
+        for (w, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() / expected < 0.05,
+                "way {w} selected {c} times"
+            );
+        }
+    }
+
+    #[test]
+    fn random_touch_is_a_no_op() {
+        let mut set = ReplacementSet::new(ReplacementKind::Random, 2);
+        let snapshot = set.clone();
+        set.touch(1);
+        assert_eq!(set, snapshot);
+    }
+
+    #[test]
+    fn single_way_set_always_evicts_way_zero() {
+        let mut rng = CombinedLfsr::new(2);
+        for kind in ReplacementKind::ALL {
+            let mut set = ReplacementSet::new(kind, 1);
+            for _ in 0..10 {
+                assert_eq!(set.victim(&mut rng), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn lru_two_way_alternation() {
+        let mut set = ReplacementSet::new(ReplacementKind::Lru, 2);
+        let mut rng = CombinedLfsr::new(3);
+        set.touch(0);
+        assert_eq!(set.victim(&mut rng), 1);
+        set.touch(1);
+        assert_eq!(set.victim(&mut rng), 0);
+    }
+}

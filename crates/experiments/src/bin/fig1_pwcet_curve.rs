@@ -1,0 +1,26 @@
+//! Regenerates Figure 1: the illustrative pWCET (EVT projection) curve.
+
+use randmod_experiments::cli::ExperimentOptions;
+use randmod_experiments::fig1;
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    println!("# Figure 1: pWCET curve (CCDF, log scale) for the 20KB synthetic kernel under RM");
+    println!("# runs = {}, campaign seed = {:#x}", options.runs, options.campaign_seed);
+    match fig1::generate(options.runs, options.campaign_seed) {
+        Ok(result) => {
+            println!("exceedance_probability,execution_time_cycles");
+            for point in &result.points {
+                println!("{:e},{:.0}", point.exceedance_probability, point.execution_time);
+            }
+            println!(
+                "# pWCET at the {:.0e} cutoff: {:.0} cycles",
+                result.cutoff_probability, result.pwcet_at_cutoff
+            );
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates Figure 5: execution-time PDFs and pWCET curves for the
+//! synthetic kernel, plus the 8KB/20KB/160KB footprint sweep (`--sweep`).
+
+use randmod_experiments::cli::ExperimentOptions;
+use randmod_experiments::fig5;
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    let sweep = std::env::args().any(|a| a == "--sweep");
+    println!("# Figure 5: synthetic kernel, RM vs hRP");
+    println!("# runs = {}, campaign seed = {:#x}", options.runs, options.campaign_seed);
+
+    let results = if sweep {
+        fig5::footprint_sweep(options.runs, options.campaign_seed)
+    } else {
+        fig5::generate(options.runs, options.campaign_seed).map(|r| vec![r])
+    };
+
+    match results {
+        Ok(results) => {
+            for result in &results {
+                println!("{result}");
+                println!("## Figure 5(a): RM execution-time histogram");
+                println!("{}", result.rm_histogram);
+                println!("## Figure 5(b): hRP execution-time histogram");
+                println!("{}", result.hrp_histogram);
+                println!("## Figure 5(c): pWCET curves (probability, RM bound, hRP bound)");
+                for (rm_point, hrp_point) in result.rm_curve.iter().zip(&result.hrp_curve) {
+                    println!("{:e},{:.0},{:.0}", rm_point.0, rm_point.1, hrp_point.1);
+                }
+                println!();
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

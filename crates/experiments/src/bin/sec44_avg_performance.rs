@@ -1,0 +1,35 @@
+//! Regenerates the Section 4.4 average-performance comparison: Random
+//! Modulo versus conventional modulo placement.
+
+use randmod_experiments::cli::ExperimentOptions;
+use randmod_experiments::sec44;
+
+fn main() {
+    let options = ExperimentOptions::from_env();
+    println!("# Section 4.4: average performance, RM vs modulo placement");
+    println!("# runs = {}, campaign seed = {:#x}", options.runs, options.campaign_seed);
+    match sec44::generate(options.runs, options.campaign_seed) {
+        Ok(rows) => {
+            println!("benchmark,rm_mean_cycles,modulo_cycles,degradation_percent");
+            for row in &rows {
+                println!(
+                    "{},{:.0},{:.0},{:.2}",
+                    row.benchmark.label(),
+                    row.rm_mean_cycles,
+                    row.modulo_cycles,
+                    row.degradation() * 100.0
+                );
+            }
+            let summary = sec44::summarize(&rows);
+            println!(
+                "# degradation: mean {:.2}%, max {:.2}% (paper: 1.6% mean, 8% max)",
+                summary.mean_degradation * 100.0,
+                summary.max_degradation * 100.0
+            );
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

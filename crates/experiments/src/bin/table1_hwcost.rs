@@ -1,0 +1,27 @@
+//! Regenerates Table 1: ASIC and FPGA implementation results for the hRP
+//! and RM placement modules.
+
+use randmod_experiments::table1::{self, PAPER_TABLE1};
+
+fn main() {
+    let reproduced = table1::generate();
+    println!("{reproduced}");
+    println!("Paper-reported values (45nm TSMC / Stratix-IV):");
+    println!(
+        "  ASIC: RM {:.1}um2 / {:.2}ns, hRP {:.1}um2 / {:.2}ns",
+        PAPER_TABLE1.rm_area_um2,
+        PAPER_TABLE1.rm_delay_ns,
+        PAPER_TABLE1.hrp_area_um2,
+        PAPER_TABLE1.hrp_delay_ns
+    );
+    println!(
+        "  FPGA: RM {:.0}% @ {:.0}MHz, hRP {:.0}% @ {:.0}MHz",
+        PAPER_TABLE1.rm_occupancy_percent,
+        PAPER_TABLE1.rm_frequency_mhz,
+        PAPER_TABLE1.hrp_occupancy_percent,
+        PAPER_TABLE1.hrp_frequency_mhz
+    );
+    println!();
+    println!("L2-sized module (10 index bits):");
+    println!("{}", table1::generate_for_index_bits(10));
+}

@@ -1,0 +1,99 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+
+use crate::{DEFAULT_CAMPAIGN_SEED, DEFAULT_RUNS};
+
+/// Options common to all experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentOptions {
+    /// Number of runs per benchmark (`--runs N`).
+    pub runs: usize,
+    /// Campaign seed (`--seed N`).
+    pub campaign_seed: u64,
+    /// Quick mode (`--quick`): very small run counts for smoke testing.
+    pub quick: bool,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            runs: DEFAULT_RUNS,
+            campaign_seed: DEFAULT_CAMPAIGN_SEED,
+            quick: false,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parses options from an argument iterator (excluding the program
+    /// name).  Unknown arguments are ignored so binaries can add their own.
+    pub fn parse<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut options = ExperimentOptions::default();
+        let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--runs" => {
+                    if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        options.runs = value;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        options.campaign_seed = value;
+                        i += 1;
+                    }
+                }
+                "--quick" => {
+                    options.quick = true;
+                    options.runs = options.runs.min(40);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        options
+    }
+
+    /// Parses options from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply_without_arguments() {
+        let options = ExperimentOptions::parse(Vec::<String>::new());
+        assert_eq!(options, ExperimentOptions::default());
+        assert_eq!(options.runs, DEFAULT_RUNS);
+    }
+
+    #[test]
+    fn runs_and_seed_are_parsed() {
+        let options = ExperimentOptions::parse(["--runs", "1000", "--seed", "7"]);
+        assert_eq!(options.runs, 1000);
+        assert_eq!(options.campaign_seed, 7);
+        assert!(!options.quick);
+    }
+
+    #[test]
+    fn quick_caps_the_run_count() {
+        let options = ExperimentOptions::parse(["--quick"]);
+        assert!(options.quick);
+        assert!(options.runs <= 40);
+    }
+
+    #[test]
+    fn unknown_and_malformed_arguments_are_ignored() {
+        let options = ExperimentOptions::parse(["--sweep", "--runs", "notanumber"]);
+        assert_eq!(options.runs, DEFAULT_RUNS);
+    }
+}

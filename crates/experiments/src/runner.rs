@@ -1,0 +1,114 @@
+//! Shared campaign-running helpers for all experiments.
+
+use randmod_core::{ConfigError, PlacementKind};
+use randmod_mbpta::{ExecutionSample, MbptaAnalysis, MbptaConfig, MbptaReport};
+use randmod_sim::{Campaign, PlatformConfig, Trace};
+use randmod_workloads::{LayoutSweep, MemoryLayout, Workload};
+
+/// The experimental platform of Section 4.3: the chosen placement policy in
+/// the IL1 and DL1, hRP kept in the L2, random replacement everywhere.
+pub fn platform_with_l1(placement: PlacementKind) -> PlatformConfig {
+    PlatformConfig::leon3()
+        .with_l1_placement(placement)
+        .with_l2_placement(PlacementKind::HashRandom)
+}
+
+/// Runs an MBPTA measurement campaign for `workload` with the given L1
+/// placement policy and returns the execution-time sample.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the platform configuration is invalid.
+pub fn measure(
+    workload: &dyn Workload,
+    l1_placement: PlacementKind,
+    runs: usize,
+    campaign_seed: u64,
+) -> Result<ExecutionSample, ConfigError> {
+    let trace = workload.trace(&MemoryLayout::default());
+    measure_trace(&trace, platform_with_l1(l1_placement), runs, campaign_seed)
+}
+
+/// Runs an MBPTA measurement campaign for an already-generated trace on an
+/// explicit platform.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the platform configuration is invalid.
+pub fn measure_trace(
+    trace: &Trace,
+    platform: PlatformConfig,
+    runs: usize,
+    campaign_seed: u64,
+) -> Result<ExecutionSample, ConfigError> {
+    let campaign = Campaign::new(platform, runs).with_campaign_seed(campaign_seed);
+    let result = campaign.run(trace)?;
+    Ok(ExecutionSample::from_cycles(&result.cycles()))
+}
+
+/// Runs the deterministic-platform layout sweep (modulo placement, LRU
+/// replacement) for a workload and returns the execution-time sample across
+/// layouts — the input of the high-water-mark protocol.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the platform configuration is invalid.
+pub fn measure_deterministic_sweep(
+    workload: &dyn Workload,
+    layouts: usize,
+) -> Result<ExecutionSample, ConfigError> {
+    let traces: Vec<Trace> = LayoutSweep::new(layouts)
+        .iter()
+        .map(|layout| workload.trace(&layout))
+        .collect();
+    let campaign = Campaign::new(PlatformConfig::leon3_deterministic(), 0);
+    let result = campaign.run_layout_sweep(&traces)?;
+    Ok(ExecutionSample::from_cycles(&result.cycles()))
+}
+
+/// Applies the standard MBPTA analysis (block size scaled to the sample) to
+/// a measurement sample.
+pub fn analyze(sample: &ExecutionSample) -> MbptaReport {
+    // Keep roughly 20+ blocks even for reduced run counts.
+    let block_size = (sample.len() / 20).clamp(5, 50);
+    let config = MbptaConfig::default()
+        .with_block_size(block_size)
+        .with_minimum_runs(sample.len().min(100));
+    MbptaAnalysis::new(config).analyze(sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randmod_workloads::SyntheticKernel;
+
+    #[test]
+    fn measure_produces_requested_runs() {
+        let kernel = SyntheticKernel::with_traversals(4 * 1024, 3);
+        let sample = measure(&kernel, PlacementKind::RandomModulo, 12, 1).unwrap();
+        assert_eq!(sample.len(), 12);
+        assert!(sample.min() > 0);
+    }
+
+    #[test]
+    fn platform_uses_hrp_in_l2() {
+        let platform = platform_with_l1(PlacementKind::RandomModulo);
+        assert_eq!(platform.il1.placement, PlacementKind::RandomModulo);
+        assert_eq!(platform.l2.placement, PlacementKind::HashRandom);
+    }
+
+    #[test]
+    fn deterministic_sweep_runs_once_per_layout() {
+        let kernel = SyntheticKernel::with_traversals(4 * 1024, 2);
+        let sample = measure_deterministic_sweep(&kernel, 6).unwrap();
+        assert_eq!(sample.len(), 6);
+    }
+
+    #[test]
+    fn analyze_adapts_block_size_to_sample_length() {
+        let cycles: Vec<u64> = (0..200).map(|i| 10_000 + (i * 31) % 400).collect();
+        let report = analyze(&ExecutionSample::from_cycles(&cycles));
+        assert_eq!(report.curve.block_size(), 10);
+        assert_eq!(report.runs, 200);
+    }
+}

@@ -1,0 +1,166 @@
+//! Primitive cells and their area/delay figures.
+
+use std::fmt;
+use std::ops::Add;
+
+/// Area and critical-path delay of a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaDelay {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Critical-path delay in nanoseconds.
+    pub delay_ns: f64,
+}
+
+impl AreaDelay {
+    /// Creates a new area/delay pair.
+    pub fn new(area_um2: f64, delay_ns: f64) -> Self {
+        AreaDelay { area_um2, delay_ns }
+    }
+}
+
+impl Add for AreaDelay {
+    type Output = AreaDelay;
+
+    /// Composes two circuit sections in series: areas add, delays add.
+    fn add(self, other: AreaDelay) -> AreaDelay {
+        AreaDelay {
+            area_um2: self.area_um2 + other.area_um2,
+            delay_ns: self.delay_ns + other.delay_ns,
+        }
+    }
+}
+
+impl fmt::Display for AreaDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}um2 / {:.2}ns", self.area_um2, self.delay_ns)
+    }
+}
+
+/// Per-cell area and delay figures of a generic 45nm-class standard-cell
+/// library, plus global derating factors.
+///
+/// The values are representative of published 45nm cell libraries; the
+/// reproduction's claim is the *relative* cost of the two modules, which
+/// depends on gate counts rather than on these constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellLibrary {
+    /// Area of a 2-input XOR gate, µm².
+    pub xor2_area_um2: f64,
+    /// Propagation delay of a 2-input XOR gate, ns.
+    pub xor2_delay_ns: f64,
+    /// Area of a 2:1 multiplexer (one leg of a barrel-shifter stage), µm².
+    pub mux2_area_um2: f64,
+    /// Propagation delay of a 2:1 multiplexer, ns.
+    pub mux2_delay_ns: f64,
+    /// Area of a pass-gate switch leg (Benes switch transmission gate), µm².
+    pub passgate_area_um2: f64,
+    /// Propagation delay through a pass-gate stage, ns.
+    pub passgate_delay_ns: f64,
+    /// Area of a flip-flop (seed/control registers), µm².
+    pub dff_area_um2: f64,
+    /// Flip-flop clock-to-q plus setup contribution charged once per
+    /// registered path, ns.
+    pub dff_overhead_ns: f64,
+    /// Area of one SRAM bit in the tag array, µm² (used to account for the
+    /// index bits hRP must store).
+    pub sram_bit_area_um2: f64,
+    /// Multiplicative overhead for wiring/placement utilisation.
+    pub routing_overhead: f64,
+}
+
+impl CellLibrary {
+    /// A generic 45nm-class library calibrated so that the two modules land
+    /// in the neighbourhood of the paper's absolute figures.
+    pub fn generic_45nm() -> Self {
+        CellLibrary {
+            xor2_area_um2: 3.0,
+            xor2_delay_ns: 0.065,
+            mux2_area_um2: 2.5,
+            mux2_delay_ns: 0.055,
+            passgate_area_um2: 1.2,
+            passgate_delay_ns: 0.035,
+            dff_area_um2: 4.5,
+            dff_overhead_ns: 0.09,
+            sram_bit_area_um2: 0.35,
+            routing_overhead: 1.30,
+        }
+    }
+
+    /// A conservative (slower, denser-wiring) corner of the same library,
+    /// useful for sensitivity checks: relative results must not change.
+    pub fn slow_corner_45nm() -> Self {
+        let nominal = Self::generic_45nm();
+        CellLibrary {
+            xor2_delay_ns: nominal.xor2_delay_ns * 1.3,
+            mux2_delay_ns: nominal.mux2_delay_ns * 1.3,
+            passgate_delay_ns: nominal.passgate_delay_ns * 1.3,
+            dff_overhead_ns: nominal.dff_overhead_ns * 1.3,
+            routing_overhead: 1.45,
+            ..nominal
+        }
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        Self::generic_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_delay_series_composition() {
+        let a = AreaDelay::new(10.0, 0.1);
+        let b = AreaDelay::new(5.0, 0.2);
+        let c = a + b;
+        assert!((c.area_um2 - 15.0).abs() < 1e-12);
+        assert!((c.delay_ns - 0.3).abs() < 1e-12);
+        assert_eq!(c.to_string(), "15.0um2 / 0.30ns");
+    }
+
+    #[test]
+    fn default_library_is_generic_45nm() {
+        assert_eq!(CellLibrary::default(), CellLibrary::generic_45nm());
+    }
+
+    #[test]
+    fn library_values_are_positive() {
+        let lib = CellLibrary::generic_45nm();
+        for v in [
+            lib.xor2_area_um2,
+            lib.xor2_delay_ns,
+            lib.mux2_area_um2,
+            lib.mux2_delay_ns,
+            lib.passgate_area_um2,
+            lib.passgate_delay_ns,
+            lib.dff_area_um2,
+            lib.dff_overhead_ns,
+            lib.sram_bit_area_um2,
+        ] {
+            assert!(v > 0.0);
+        }
+        assert!(lib.routing_overhead >= 1.0);
+    }
+
+    #[test]
+    fn slow_corner_is_slower_but_same_area_cells() {
+        let nominal = CellLibrary::generic_45nm();
+        let slow = CellLibrary::slow_corner_45nm();
+        assert!(slow.xor2_delay_ns > nominal.xor2_delay_ns);
+        assert_eq!(slow.xor2_area_um2, nominal.xor2_area_um2);
+        assert!(slow.routing_overhead > nominal.routing_overhead);
+    }
+
+    #[test]
+    fn pass_gates_are_cheaper_and_faster_than_muxes() {
+        // The premise of the paper's delay argument: RM's index bits travel
+        // through pass transistors, cheaper than full multiplexer cells.
+        let lib = CellLibrary::generic_45nm();
+        assert!(lib.passgate_area_um2 < lib.mux2_area_um2);
+        assert!(lib.passgate_delay_ns < lib.mux2_delay_ns);
+    }
+}

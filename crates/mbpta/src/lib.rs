@@ -1,0 +1,53 @@
+//! # randmod-mbpta
+//!
+//! Measurement-Based Probabilistic Timing Analysis (MBPTA) tooling.
+//!
+//! MBPTA takes a few hundred to a few thousand execution-time observations
+//! collected on a time-randomised platform, checks that they can be treated
+//! as independent and identically distributed (i.i.d.), fits an extreme
+//! value distribution to their tail, and reads off the probabilistic WCET
+//! (pWCET): the execution time whose per-run exceedance probability is below
+//! a target such as 10⁻¹⁵.  This crate implements the statistical machinery
+//! the paper relies on:
+//!
+//! * [`sample`] — execution-time samples and summary statistics.
+//! * [`iid`] — the Wald–Wolfowitz runs test (independence), the two-sample
+//!   Kolmogorov–Smirnov test (identical distribution) and an
+//!   exponential-tail (ET) test for Gumbel convergence.
+//! * [`evt`] — the Gumbel distribution, block-maxima extraction, fitting and
+//!   the [`evt::PwcetCurve`] (a complementary CDF in log scale, Figure 1 of
+//!   the paper).
+//! * [`analysis`] — the end-to-end MBPTA procedure producing an
+//!   [`analysis::MbptaReport`].
+//! * [`hwm`] — the industrial high-water-mark + engineering-margin baseline.
+//! * [`histogram`] — execution-time histograms (the PDFs of Figure 5).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use randmod_mbpta::analysis::{MbptaAnalysis, MbptaConfig};
+//! use randmod_mbpta::sample::ExecutionSample;
+//!
+//! // A toy sample: in a real campaign these are measured cycle counts.
+//! let times: Vec<u64> = (0..400).map(|i| 100_000 + (i * 7919) % 1_000).collect();
+//! let sample = ExecutionSample::from_cycles(&times);
+//! let report = MbptaAnalysis::new(MbptaConfig::default()).analyze(&sample);
+//! assert!(report.pwcet_at(1e-15) >= sample.max() as f64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod evt;
+pub mod histogram;
+pub mod hwm;
+pub mod iid;
+pub mod sample;
+
+pub use analysis::{MbptaAnalysis, MbptaConfig, MbptaReport};
+pub use evt::{Gumbel, PwcetCurve};
+pub use histogram::Histogram;
+pub use hwm::HighWaterMark;
+pub use iid::{EtTest, KsTest, WwTest};
+pub use sample::ExecutionSample;

@@ -1,0 +1,268 @@
+//! Platform configuration.
+//!
+//! [`PlatformConfig`] describes one core's view of the memory system of the
+//! paper's evaluation platform: private instruction and data L1 caches, a
+//! private partition of the shared L2, and main memory, together with the
+//! placement/replacement policy of each cache and the access latencies.
+
+use randmod_core::{CacheGeometry, ConfigError, PlacementKind, ReplacementKind, WritePolicy};
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Cache dimensions.
+    pub geometry: CacheGeometry,
+    /// Placement policy.
+    pub placement: PlacementKind,
+    /// Replacement policy.
+    pub replacement: ReplacementKind,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    pub fn new(
+        geometry: CacheGeometry,
+        placement: PlacementKind,
+        replacement: ReplacementKind,
+        write_policy: WritePolicy,
+    ) -> Self {
+        CacheConfig {
+            geometry,
+            placement,
+            replacement,
+            write_policy,
+        }
+    }
+}
+
+/// Access latencies of the memory system, in processor cycles.
+///
+/// The defaults are representative of a LEON3-class system-on-chip: single-
+/// cycle L1 hits, a handful of cycles to the on-chip L2, and a few tens of
+/// cycles to external memory.  The paper's conclusions depend on the
+/// relative cost of extra misses, not on the exact constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// L1 hit latency (applies to both IL1 and DL1).
+    pub l1_hit: u32,
+    /// Additional latency of an L2 hit (on top of the L1 lookup).
+    pub l2_hit: u32,
+    /// Additional latency of a main-memory access (on top of L1 and L2).
+    pub memory: u32,
+    /// Latency charged to a store (write-through stores are buffered, so
+    /// they normally cost one cycle regardless of hit/miss).
+    pub store: u32,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            l1_hit: 1,
+            l2_hit: 8,
+            memory: 28,
+            store: 1,
+        }
+    }
+}
+
+/// Full single-core platform configuration.
+///
+/// ```
+/// use randmod_sim::config::PlatformConfig;
+/// use randmod_core::PlacementKind;
+///
+/// let config = PlatformConfig::leon3()
+///     .with_l1_placement(PlacementKind::RandomModulo)
+///     .with_l2_placement(PlacementKind::HashRandom);
+/// assert_eq!(config.il1.placement, PlacementKind::RandomModulo);
+/// assert_eq!(config.l2.placement, PlacementKind::HashRandom);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatformConfig {
+    /// Instruction L1 cache.
+    pub il1: CacheConfig,
+    /// Data L1 cache.
+    pub dl1: CacheConfig,
+    /// Unified L2 partition of this core.
+    pub l2: CacheConfig,
+    /// Access latencies.
+    pub latencies: LatencyConfig,
+}
+
+impl PlatformConfig {
+    /// The paper's LEON3-like platform: 16KB 4-way 32B-line IL1 and DL1
+    /// (write-through, random replacement), a 128KB 4-way L2 partition
+    /// (write-back, random replacement).  Placement defaults to hRP in all
+    /// caches — the pre-existing MBPTA-compliant baseline — and can be
+    /// overridden with the `with_*` builders.
+    pub fn leon3() -> Self {
+        let l1_geometry = CacheGeometry::leon3_l1();
+        let l2_geometry = CacheGeometry::leon3_l2_partition();
+        PlatformConfig {
+            il1: CacheConfig::new(
+                l1_geometry,
+                PlacementKind::HashRandom,
+                ReplacementKind::Random,
+                WritePolicy::WriteThrough,
+            ),
+            dl1: CacheConfig::new(
+                l1_geometry,
+                PlacementKind::HashRandom,
+                ReplacementKind::Random,
+                WritePolicy::WriteThrough,
+            ),
+            l2: CacheConfig::new(
+                l2_geometry,
+                PlacementKind::HashRandom,
+                ReplacementKind::Random,
+                WritePolicy::WriteBack,
+            ),
+            latencies: LatencyConfig::default(),
+        }
+    }
+
+    /// A fully deterministic configuration (modulo placement and LRU
+    /// replacement everywhere), the conventional-platform baseline used for
+    /// the high-water-mark comparison of Figure 4(b).
+    pub fn leon3_deterministic() -> Self {
+        let mut config = Self::leon3();
+        config.il1.placement = PlacementKind::Modulo;
+        config.dl1.placement = PlacementKind::Modulo;
+        config.l2.placement = PlacementKind::Modulo;
+        config.il1.replacement = ReplacementKind::Lru;
+        config.dl1.replacement = ReplacementKind::Lru;
+        config.l2.replacement = ReplacementKind::Lru;
+        config
+    }
+
+    /// Sets the placement policy of both L1 caches (the experimental knob of
+    /// the paper's Section 4.3: hRP vs RM in IL1/DL1, hRP kept in the L2).
+    pub fn with_l1_placement(mut self, placement: PlacementKind) -> Self {
+        self.il1.placement = placement;
+        self.dl1.placement = placement;
+        self
+    }
+
+    /// Sets the placement policy of the L2 partition.
+    pub fn with_l2_placement(mut self, placement: PlacementKind) -> Self {
+        self.l2.placement = placement;
+        self
+    }
+
+    /// Sets the replacement policy of every cache.
+    pub fn with_replacement(mut self, replacement: ReplacementKind) -> Self {
+        self.il1.replacement = replacement;
+        self.dl1.replacement = replacement;
+        self.l2.replacement = replacement;
+        self
+    }
+
+    /// Overrides the latency configuration.
+    pub fn with_latencies(mut self, latencies: LatencyConfig) -> Self {
+        self.latencies = latencies;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the L2 is smaller than either L1 (the
+    /// hierarchy model assumes the L2 partition is the larger cache) or if
+    /// any latency is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.l2.geometry.total_size_bytes() < self.il1.geometry.total_size_bytes()
+            || self.l2.geometry.total_size_bytes() < self.dl1.geometry.total_size_bytes()
+        {
+            return Err(ConfigError::Inconsistent {
+                reason: "the L2 partition must be at least as large as each L1".to_string(),
+            });
+        }
+        if self.latencies.l1_hit == 0 {
+            return Err(ConfigError::Zero {
+                parameter: "l1_hit latency",
+            });
+        }
+        if self.latencies.memory == 0 {
+            return Err(ConfigError::Zero {
+                parameter: "memory latency",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self::leon3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leon3_defaults_match_paper_platform() {
+        let config = PlatformConfig::leon3();
+        assert_eq!(config.il1.geometry.total_size_bytes(), 16 * 1024);
+        assert_eq!(config.dl1.geometry.total_size_bytes(), 16 * 1024);
+        assert_eq!(config.l2.geometry.total_size_bytes(), 128 * 1024);
+        assert_eq!(config.il1.geometry.ways(), 4);
+        assert_eq!(config.l2.geometry.ways(), 4);
+        assert_eq!(config.il1.write_policy, WritePolicy::WriteThrough);
+        assert_eq!(config.l2.write_policy, WritePolicy::WriteBack);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_override_policies() {
+        let config = PlatformConfig::leon3()
+            .with_l1_placement(PlacementKind::RandomModulo)
+            .with_l2_placement(PlacementKind::HashRandom)
+            .with_replacement(ReplacementKind::Lru);
+        assert_eq!(config.il1.placement, PlacementKind::RandomModulo);
+        assert_eq!(config.dl1.placement, PlacementKind::RandomModulo);
+        assert_eq!(config.l2.placement, PlacementKind::HashRandom);
+        assert_eq!(config.il1.replacement, ReplacementKind::Lru);
+    }
+
+    #[test]
+    fn deterministic_baseline_uses_modulo_and_lru() {
+        let config = PlatformConfig::leon3_deterministic();
+        assert_eq!(config.il1.placement, PlacementKind::Modulo);
+        assert_eq!(config.l2.placement, PlacementKind::Modulo);
+        assert_eq!(config.dl1.replacement, ReplacementKind::Lru);
+    }
+
+    #[test]
+    fn default_latencies_are_ordered() {
+        let lat = LatencyConfig::default();
+        assert!(lat.l1_hit < lat.l2_hit);
+        assert!(lat.l2_hit < lat.memory);
+    }
+
+    #[test]
+    fn validate_rejects_tiny_l2() {
+        let mut config = PlatformConfig::leon3();
+        config.l2.geometry = CacheGeometry::new(64, 2, 32).unwrap();
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_latency() {
+        let mut config = PlatformConfig::leon3();
+        config.latencies.l1_hit = 0;
+        assert!(config.validate().is_err());
+        let mut config = PlatformConfig::leon3();
+        config.latencies.memory = 0;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_leon3() {
+        assert_eq!(PlatformConfig::default(), PlatformConfig::leon3());
+    }
+}

@@ -1,0 +1,185 @@
+//! The in-order core timing model.
+//!
+//! The LEON3 is a single-issue, in-order SPARC V8 core: to first order, the
+//! execution time of a program is the sum of the latencies of its
+//! instruction fetches, data accesses and computation intervals.
+//! [`InOrderCore`] executes a [`Trace`] on top of a [`MemoryHierarchy`] and
+//! accumulates exactly that sum.
+
+use crate::config::PlatformConfig;
+use crate::hierarchy::{HierarchyStats, MemoryHierarchy};
+use crate::trace::Trace;
+use randmod_core::ConfigError;
+
+/// An in-order, single-issue core executing traces on a memory hierarchy.
+///
+/// ```
+/// use randmod_sim::{InOrderCore, PlatformConfig, Trace};
+/// use randmod_sim::trace::MemEvent;
+/// use randmod_core::Address;
+///
+/// # fn main() -> Result<(), randmod_core::ConfigError> {
+/// let mut core = InOrderCore::new(&PlatformConfig::leon3())?;
+/// core.reseed(3);
+/// let mut trace = Trace::new();
+/// trace.fetch(Address::new(0x1000));
+/// trace.compute(2);
+/// let cycles = core.execute(&trace);
+/// assert!(cycles >= 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct InOrderCore {
+    hierarchy: MemoryHierarchy,
+}
+
+impl InOrderCore {
+    /// Builds a core with the given platform configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(config: &PlatformConfig) -> Result<Self, ConfigError> {
+        Ok(InOrderCore {
+            hierarchy: MemoryHierarchy::new(config)?,
+        })
+    }
+
+    /// Installs a new placement seed (and flushes the caches), as done
+    /// before every run of an MBPTA measurement campaign.
+    pub fn reseed(&mut self, seed: u64) {
+        self.hierarchy.reseed(seed);
+    }
+
+    /// Executes the trace to completion and returns the cycle count.
+    ///
+    /// Statistics accumulate across calls; use [`Self::reset_stats`] or
+    /// [`Self::execute_isolated`] for per-run numbers.
+    pub fn execute(&mut self, trace: &Trace) -> u64 {
+        let mut cycles = 0u64;
+        for &event in trace {
+            cycles += self.hierarchy.access(event);
+        }
+        cycles
+    }
+
+    /// Resets statistics, executes the trace on cold caches under `seed`,
+    /// and returns the cycle count together with the per-level statistics —
+    /// the "run to completion" unit of analysis the paper uses.
+    pub fn execute_isolated(&mut self, trace: &Trace, seed: u64) -> (u64, HierarchyStats) {
+        self.reseed(seed);
+        self.reset_stats();
+        let cycles = self.execute(trace);
+        (cycles, self.stats())
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.hierarchy.reset_stats();
+    }
+
+    /// Per-level statistics accumulated so far.
+    pub fn stats(&self) -> HierarchyStats {
+        self.hierarchy.stats()
+    }
+
+    /// Access to the underlying hierarchy.
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randmod_core::{Address, PlacementKind};
+
+    fn loop_trace(iterations: usize, lines: u64) -> Trace {
+        let mut trace = Trace::new();
+        for _ in 0..iterations {
+            for i in 0..lines {
+                trace.fetch(Address::new(0x1000 + (i % 8) * 32));
+                trace.load(Address::new(0x10_0000 + i * 32));
+                trace.compute(1);
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn empty_trace_costs_nothing() {
+        let mut core = InOrderCore::new(&PlatformConfig::leon3()).unwrap();
+        assert_eq!(core.execute(&Trace::new()), 0);
+    }
+
+    #[test]
+    fn cycles_are_sum_of_event_latencies() {
+        let config = PlatformConfig::leon3_deterministic();
+        let mut core = InOrderCore::new(&config).unwrap();
+        let lat = config.latencies;
+        let mut trace = Trace::new();
+        trace.load(Address::new(0x9000)); // cold miss -> memory
+        trace.load(Address::new(0x9000)); // L1 hit
+        trace.compute(5);
+        let cycles = core.execute(&trace);
+        let expected = (lat.l1_hit + lat.l2_hit + lat.memory) as u64 + lat.l1_hit as u64 + 5;
+        assert_eq!(cycles, expected);
+    }
+
+    #[test]
+    fn warm_reexecution_is_faster_than_cold() {
+        let mut core = InOrderCore::new(&PlatformConfig::leon3_deterministic()).unwrap();
+        let trace = loop_trace(1, 256);
+        let cold = core.execute(&trace);
+        let warm = core.execute(&trace);
+        assert!(warm < cold);
+    }
+
+    #[test]
+    fn execute_isolated_is_reproducible_per_seed() {
+        let config = PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo);
+        let mut core = InOrderCore::new(&config).unwrap();
+        let trace = loop_trace(2, 512);
+        let (a, stats_a) = core.execute_isolated(&trace, 99);
+        let (b, stats_b) = core.execute_isolated(&trace, 99);
+        assert_eq!(a, b);
+        assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn execute_isolated_differs_across_seeds_for_stressing_footprint() {
+        let config = PlatformConfig::leon3().with_l1_placement(PlacementKind::HashRandom);
+        let mut core = InOrderCore::new(&config).unwrap();
+        // 20KB data footprint: larger than the L1, the regime where layouts
+        // matter most (Figure 5 of the paper).
+        let trace = loop_trace(4, 640);
+        let distinct: std::collections::HashSet<u64> = (0..10u64)
+            .map(|s| core.execute_isolated(&trace, s * 7 + 1).0)
+            .collect();
+        assert!(distinct.len() > 1, "execution time never varied across seeds");
+    }
+
+    #[test]
+    fn stats_reflect_trace_composition() {
+        let mut core = InOrderCore::new(&PlatformConfig::leon3_deterministic()).unwrap();
+        let mut trace = Trace::new();
+        trace.fetch(Address::new(0));
+        trace.load(Address::new(0x100));
+        trace.store(Address::new(0x200));
+        core.execute(&trace);
+        let stats = core.stats();
+        assert_eq!(stats.il1.accesses, 1);
+        assert_eq!(stats.dl1.accesses, 2);
+        assert_eq!(stats.dl1.stores, 1);
+        core.reset_stats();
+        assert_eq!(core.stats().il1.accesses, 0);
+    }
+
+    #[test]
+    fn hierarchy_accessor_exposes_configuration() {
+        let config = PlatformConfig::leon3();
+        let core = InOrderCore::new(&config).unwrap();
+        assert_eq!(core.hierarchy().config(), &config);
+    }
+}

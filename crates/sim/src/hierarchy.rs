@@ -1,0 +1,326 @@
+//! The two-level cache hierarchy of one core.
+//!
+//! [`MemoryHierarchy`] models a private instruction L1, a private data L1
+//! and a private L2 partition in front of main memory, and charges the
+//! latency of every access according to where it is served:
+//!
+//! * L1 hit: `l1_hit` cycles,
+//! * L1 miss / L2 hit: `l1_hit + l2_hit` cycles,
+//! * L1 miss / L2 miss: `l1_hit + l2_hit + memory` cycles,
+//! * store: `store` cycles (write-through stores are buffered), plus the
+//!   write-through update of the L2 contents.
+//!
+//! A seed change re-randomises every cache's placement and flushes all
+//! contents, as the real design does.
+
+use crate::config::PlatformConfig;
+use crate::trace::MemEvent;
+use randmod_core::cache::{AccessKind, SetAssocCache};
+use randmod_core::prng::SplitMix64;
+use randmod_core::{Address, CacheStats, ConfigError};
+use std::fmt;
+
+/// Per-level statistics of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HierarchyStats {
+    /// Instruction L1 statistics.
+    pub il1: CacheStats,
+    /// Data L1 statistics.
+    pub dl1: CacheStats,
+    /// L2 partition statistics.
+    pub l2: CacheStats,
+    /// Number of accesses that went all the way to main memory.
+    pub memory_accesses: u64,
+}
+
+impl HierarchyStats {
+    /// Total L1 misses (instruction plus data).
+    pub fn l1_misses(&self) -> u64 {
+        self.il1.misses + self.dl1.misses
+    }
+}
+
+impl fmt::Display for HierarchyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IL1 {:.2}% miss, DL1 {:.2}% miss, L2 {:.2}% miss, {} memory accesses",
+            self.il1.miss_ratio() * 100.0,
+            self.dl1.miss_ratio() * 100.0,
+            self.l2.miss_ratio() * 100.0,
+            self.memory_accesses
+        )
+    }
+}
+
+/// One core's memory hierarchy: IL1 + DL1 + L2 partition + memory.
+///
+/// ```
+/// use randmod_sim::{MemoryHierarchy, PlatformConfig};
+/// use randmod_sim::trace::MemEvent;
+/// use randmod_core::Address;
+///
+/// # fn main() -> Result<(), randmod_core::ConfigError> {
+/// let mut hierarchy = MemoryHierarchy::new(&PlatformConfig::leon3())?;
+/// hierarchy.reseed(1);
+/// let cold = hierarchy.access(MemEvent::Load(Address::new(0x1000)));
+/// let warm = hierarchy.access(MemEvent::Load(Address::new(0x1000)));
+/// assert!(cold > warm);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    config: PlatformConfig,
+    il1: SetAssocCache,
+    dl1: SetAssocCache,
+    l2: SetAssocCache,
+    memory_accesses: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(config: &PlatformConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let build = |c: &crate::config::CacheConfig| -> Result<SetAssocCache, ConfigError> {
+            SetAssocCache::with_kinds(c.geometry, c.placement, c.replacement, c.write_policy)
+        };
+        Ok(MemoryHierarchy {
+            config: *config,
+            il1: build(&config.il1)?,
+            dl1: build(&config.dl1)?,
+            l2: build(&config.l2)?,
+            memory_accesses: 0,
+        })
+    }
+
+    /// The configuration this hierarchy was built from.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Installs a new placement seed in every cache and flushes all
+    /// contents (the per-run re-randomisation of the MBPTA protocol).
+    pub fn reseed(&mut self, seed: u64) {
+        // Derive independent per-cache seeds so the three layouts are not
+        // correlated with one another.
+        let mut sm = SplitMix64::new(seed);
+        self.il1.reseed(sm.next_u64());
+        self.dl1.reseed(sm.next_u64());
+        self.l2.reseed(sm.next_u64());
+    }
+
+    /// Clears all statistics (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.il1.reset_stats();
+        self.dl1.reset_stats();
+        self.l2.reset_stats();
+        self.memory_accesses = 0;
+    }
+
+    /// Current per-level statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            il1: self.il1.stats(),
+            dl1: self.dl1.stats(),
+            l2: self.l2.stats(),
+            memory_accesses: self.memory_accesses,
+        }
+    }
+
+    /// Performs one trace event and returns its latency in cycles.
+    pub fn access(&mut self, event: MemEvent) -> u64 {
+        let lat = self.config.latencies;
+        match event {
+            MemEvent::Compute(cycles) => cycles as u64,
+            MemEvent::InstrFetch(addr) => {
+                if self.il1.access(addr, AccessKind::InstructionFetch).is_hit() {
+                    lat.l1_hit as u64
+                } else {
+                    self.fill_from_l2(addr, AccessKind::InstructionFetch) + lat.l1_hit as u64
+                }
+            }
+            MemEvent::Load(addr) => {
+                if self.dl1.access(addr, AccessKind::Load).is_hit() {
+                    lat.l1_hit as u64
+                } else {
+                    self.fill_from_l2(addr, AccessKind::Load) + lat.l1_hit as u64
+                }
+            }
+            MemEvent::Store(addr) => {
+                // The DL1 is write-through: the store updates the L1 line if
+                // present (no allocation on a miss) and is forwarded to the
+                // L2 through the store buffer, updating the L2 copy without
+                // stalling the pipeline beyond the store latency.
+                self.dl1.access(addr, AccessKind::Store);
+                let l2_outcome = self.l2.access(addr, AccessKind::Store);
+                if l2_outcome.is_miss() {
+                    // The L2 partition is write-back/write-allocate; a store
+                    // miss fetches the line from memory in the background.
+                    self.memory_accesses += 1;
+                }
+                lat.store as u64
+            }
+        }
+    }
+
+    /// Serves an L1 load/fetch miss from the L2 (or memory) and returns the
+    /// additional latency beyond the L1 lookup.
+    fn fill_from_l2(&mut self, addr: Address, kind: AccessKind) -> u64 {
+        let lat = self.config.latencies;
+        if self.l2.access(addr, kind).is_hit() {
+            lat.l2_hit as u64
+        } else {
+            self.memory_accesses += 1;
+            (lat.l2_hit + lat.memory) as u64
+        }
+    }
+
+    /// Read-only access to the instruction L1 (for inspection in tests and
+    /// analyses).
+    pub fn il1(&self) -> &SetAssocCache {
+        &self.il1
+    }
+
+    /// Read-only access to the data L1.
+    pub fn dl1(&self) -> &SetAssocCache {
+        &self.dl1
+    }
+
+    /// Read-only access to the L2 partition.
+    pub fn l2(&self) -> &SetAssocCache {
+        &self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randmod_core::PlacementKind;
+
+    fn hierarchy(l1_placement: PlacementKind) -> MemoryHierarchy {
+        MemoryHierarchy::new(&PlatformConfig::leon3().with_l1_placement(l1_placement)).unwrap()
+    }
+
+    #[test]
+    fn load_latency_depends_on_where_it_is_served() {
+        let mut h = hierarchy(PlacementKind::Modulo);
+        let lat = h.config().latencies;
+        let addr = Address::new(0x2_0000);
+        // Cold: miss in L1 and L2, goes to memory.
+        let cold = h.access(MemEvent::Load(addr));
+        assert_eq!(cold, (lat.l1_hit + lat.l2_hit + lat.memory) as u64);
+        // Warm: hit in L1.
+        let warm = h.access(MemEvent::Load(addr));
+        assert_eq!(warm, lat.l1_hit as u64);
+        assert_eq!(h.stats().memory_accesses, 1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction_costs_l2_latency() {
+        let mut h = hierarchy(PlacementKind::Modulo);
+        let lat = h.config().latencies;
+        let target = Address::new(0);
+        h.access(MemEvent::Load(target));
+        // Evict `target` from the 16KB L1 by streaming 32KB of other data,
+        // which still fits in the 128KB L2.
+        for i in 1..1024u64 {
+            h.access(MemEvent::Load(Address::new(i * 32)));
+        }
+        let again = h.access(MemEvent::Load(target));
+        assert_eq!(again, (lat.l1_hit + lat.l2_hit) as u64);
+    }
+
+    #[test]
+    fn instruction_fetches_use_the_instruction_cache() {
+        let mut h = hierarchy(PlacementKind::Modulo);
+        h.access(MemEvent::InstrFetch(Address::new(0x100)));
+        h.access(MemEvent::InstrFetch(Address::new(0x100)));
+        let stats = h.stats();
+        assert_eq!(stats.il1.accesses, 2);
+        assert_eq!(stats.il1.hits, 1);
+        assert_eq!(stats.dl1.accesses, 0);
+    }
+
+    #[test]
+    fn stores_cost_the_store_latency_and_do_not_allocate_in_l1() {
+        let mut h = hierarchy(PlacementKind::Modulo);
+        let lat = h.config().latencies;
+        let addr = Address::new(0x5000);
+        assert_eq!(h.access(MemEvent::Store(addr)), lat.store as u64);
+        // The following load must still miss in the DL1 (no write-allocate).
+        let load = h.access(MemEvent::Load(addr));
+        assert!(load > lat.l1_hit as u64);
+    }
+
+    #[test]
+    fn compute_events_cost_their_cycles() {
+        let mut h = hierarchy(PlacementKind::Modulo);
+        assert_eq!(h.access(MemEvent::Compute(17)), 17);
+        assert_eq!(h.stats().il1.accesses, 0);
+    }
+
+    #[test]
+    fn reseed_flushes_and_changes_layout() {
+        let mut h = hierarchy(PlacementKind::RandomModulo);
+        let addr = Address::new(0x1234_0000);
+        h.access(MemEvent::Load(addr));
+        assert!(h.dl1().contains(addr));
+        h.reseed(77);
+        assert!(!h.dl1().contains(addr));
+        assert!(!h.l2().contains(addr));
+    }
+
+    #[test]
+    fn reset_stats_clears_counts() {
+        let mut h = hierarchy(PlacementKind::Modulo);
+        h.access(MemEvent::Load(Address::new(0)));
+        h.reset_stats();
+        let stats = h.stats();
+        assert_eq!(stats.dl1.accesses, 0);
+        assert_eq!(stats.memory_accesses, 0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_behaviour() {
+        let run = |seed: u64| -> u64 {
+            let mut h = hierarchy(PlacementKind::RandomModulo);
+            h.reseed(seed);
+            let mut cycles = 0;
+            for i in 0..5000u64 {
+                cycles += h.access(MemEvent::Load(Address::new((i * 1037) % 65536)));
+            }
+            cycles
+        };
+        assert_eq!(run(123), run(123));
+        // Different seeds generally lead to different cycle counts for a
+        // footprint that stresses the caches.
+        let a = run(1);
+        let b = run(2);
+        // They may coincide by chance, but the stats display should differ
+        // in the common case; accept equality but require both runs valid.
+        assert!(a > 0 && b > 0);
+    }
+
+    #[test]
+    fn stats_display_mentions_each_level() {
+        let mut h = hierarchy(PlacementKind::Modulo);
+        h.access(MemEvent::Load(Address::new(0)));
+        let text = h.stats().to_string();
+        assert!(text.contains("IL1"));
+        assert!(text.contains("DL1"));
+        assert!(text.contains("L2"));
+    }
+
+    #[test]
+    fn l1_misses_helper_sums_both_l1s() {
+        let mut h = hierarchy(PlacementKind::Modulo);
+        h.access(MemEvent::Load(Address::new(0x1000)));
+        h.access(MemEvent::InstrFetch(Address::new(0x2000)));
+        assert_eq!(h.stats().l1_misses(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! # randmod-sim
+//!
+//! A LEON3-like, trace-driven cache-hierarchy and timing simulator.
+//!
+//! The paper evaluates Random Modulo on an FPGA implementation of a 4-core
+//! LEON3 with per-core 16KB 4-way instruction and data L1 caches and a
+//! 128KB 4-way L2 partition per core.  This crate provides the equivalent
+//! simulation substrate:
+//!
+//! * [`config`] — platform configuration (cache geometries, placement and
+//!   replacement policies per level, latencies) with LEON3-like defaults.
+//! * [`trace`] — memory-access traces ([`MemEvent`], [`Trace`]) produced by
+//!   the workload generators of `randmod-workloads`.
+//! * [`hierarchy`] — the two-level cache hierarchy (IL1 + DL1 + unified L2
+//!   partition + main memory) with per-level statistics.
+//! * [`cpu`] — an in-order single-issue core model that executes a trace on
+//!   top of the hierarchy and accumulates execution cycles.
+//! * [`run`] — measurement campaigns: run a program repeatedly with a fresh
+//!   placement seed per run (the MBPTA protocol), or sweep memory layouts
+//!   under deterministic placement (the industrial high-water-mark
+//!   protocol).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use randmod_sim::config::PlatformConfig;
+//! use randmod_sim::cpu::InOrderCore;
+//! use randmod_sim::trace::{MemEvent, Trace};
+//! use randmod_core::{Address, PlacementKind};
+//!
+//! # fn main() -> Result<(), randmod_core::ConfigError> {
+//! let config = PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo);
+//! let mut core = InOrderCore::new(&config)?;
+//! core.reseed(42);
+//!
+//! let mut trace = Trace::new();
+//! trace.push(MemEvent::InstrFetch(Address::new(0x1000)));
+//! trace.push(MemEvent::Load(Address::new(0x8000)));
+//! let cycles = core.execute(&trace);
+//! assert!(cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cpu;
+pub mod hierarchy;
+pub mod run;
+pub mod trace;
+
+pub use config::{CacheConfig, LatencyConfig, PlatformConfig};
+pub use cpu::InOrderCore;
+pub use hierarchy::{HierarchyStats, MemoryHierarchy};
+pub use run::{Campaign, CampaignResult, RunResult};
+pub use trace::{MemEvent, Trace, TraceStats};

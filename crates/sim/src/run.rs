@@ -1,0 +1,392 @@
+//! Measurement campaigns.
+//!
+//! MBPTA collects execution-time observations by running the program many
+//! times (the paper uses 1,000 runs per benchmark), installing a fresh
+//! placement seed before each run so that every run samples a new random
+//! cache layout.  [`Campaign`] automates this protocol, executing runs in
+//! parallel across threads (each run is independent by construction).
+//!
+//! For the deterministic baseline of Figure 4(b), the execution time does
+//! not vary with a seed but with the *memory layout* of the program; the
+//! corresponding protocol, sweeping layouts and recording the high-water
+//! mark, is provided by [`Campaign::run_layout_sweep`].
+
+use crate::config::PlatformConfig;
+use crate::cpu::InOrderCore;
+use crate::hierarchy::HierarchyStats;
+use crate::trace::Trace;
+use randmod_core::prng::SeedSequence;
+use randmod_core::ConfigError;
+use std::fmt;
+
+/// The outcome of one run of the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// The placement seed installed for this run (or the layout index for a
+    /// deterministic sweep).
+    pub seed: u64,
+    /// End-to-end execution time in cycles.
+    pub cycles: u64,
+    /// Per-level cache statistics of the run.
+    pub stats: HierarchyStats,
+}
+
+/// The collected results of a measurement campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CampaignResult {
+    runs: Vec<RunResult>,
+}
+
+impl CampaignResult {
+    /// Creates a result from individual runs.
+    pub fn from_runs(runs: Vec<RunResult>) -> Self {
+        CampaignResult { runs }
+    }
+
+    /// The individual runs, in campaign order.
+    pub fn runs(&self) -> &[RunResult] {
+        &self.runs
+    }
+
+    /// The execution times, in campaign order (the input MBPTA consumes).
+    pub fn cycles(&self) -> Vec<u64> {
+        self.runs.iter().map(|r| r.cycles).collect()
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the campaign produced no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Arithmetic mean of the execution times (0 for an empty campaign).
+    pub fn mean_cycles(&self) -> f64 {
+        if self.runs.is_empty() {
+            0.0
+        } else {
+            self.runs.iter().map(|r| r.cycles as f64).sum::<f64>() / self.runs.len() as f64
+        }
+    }
+
+    /// Largest observed execution time (the high-water mark).
+    pub fn max_cycles(&self) -> u64 {
+        self.runs.iter().map(|r| r.cycles).max().unwrap_or(0)
+    }
+
+    /// Smallest observed execution time.
+    pub fn min_cycles(&self) -> u64 {
+        self.runs.iter().map(|r| r.cycles).min().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} runs: min {}, mean {:.0}, max {} cycles",
+            self.len(),
+            self.min_cycles(),
+            self.mean_cycles(),
+            self.max_cycles()
+        )
+    }
+}
+
+/// A measurement campaign: a platform configuration plus a run count.
+///
+/// ```
+/// use randmod_sim::{Campaign, PlatformConfig, Trace};
+/// use randmod_core::{Address, PlacementKind};
+///
+/// # fn main() -> Result<(), randmod_core::ConfigError> {
+/// let mut trace = Trace::new();
+/// for i in 0..64u64 {
+///     trace.load(Address::new(0x1000 + i * 32));
+/// }
+/// let campaign = Campaign::new(
+///     PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo),
+///     10,
+/// );
+/// let result = campaign.run(&trace)?;
+/// assert_eq!(result.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: PlatformConfig,
+    runs: usize,
+    campaign_seed: u64,
+    threads: usize,
+}
+
+impl Campaign {
+    /// Creates a campaign of `runs` runs on the given platform.
+    pub fn new(config: PlatformConfig, runs: usize) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Campaign {
+            config,
+            runs,
+            campaign_seed: 0x00C0_FFEE,
+            threads,
+        }
+    }
+
+    /// Overrides the campaign-level seed from which per-run seeds are drawn.
+    pub fn with_campaign_seed(mut self, seed: u64) -> Self {
+        self.campaign_seed = seed;
+        self
+    }
+
+    /// Overrides the number of worker threads (minimum 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The platform configuration of this campaign.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Number of runs this campaign performs.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Runs the MBPTA measurement protocol: execute `trace` once per run,
+    /// with a fresh placement seed installed (and caches flushed) before
+    /// each run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the platform configuration is invalid.
+    pub fn run(&self, trace: &Trace) -> Result<CampaignResult, ConfigError> {
+        self.config.validate()?;
+        let seeds: Vec<u64> = SeedSequence::new(self.campaign_seed).take(self.runs).collect();
+        self.run_seeds(trace, &seeds)
+    }
+
+    /// Runs the program once for every provided seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the platform configuration is invalid.
+    pub fn run_seeds(&self, trace: &Trace, seeds: &[u64]) -> Result<CampaignResult, ConfigError> {
+        self.config.validate()?;
+        if seeds.is_empty() {
+            return Ok(CampaignResult::default());
+        }
+        let threads = self.threads.min(seeds.len()).max(1);
+        let chunk_size = seeds.len().div_ceil(threads);
+        let config = self.config;
+        let mut results: Vec<Vec<RunResult>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || -> Result<Vec<RunResult>, ConfigError> {
+                        let mut core = InOrderCore::new(&config)?;
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for &seed in chunk {
+                            let (cycles, stats) = core.execute_isolated(trace, seed);
+                            out.push(RunResult { seed, cycles, stats });
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let chunk_result = handle.join().expect("campaign worker thread panicked");
+                results.push(chunk_result?);
+            }
+            Ok::<(), ConfigError>(())
+        })?;
+        Ok(CampaignResult::from_runs(results.into_iter().flatten().collect()))
+    }
+
+    /// Runs the deterministic-platform protocol of Figure 4(b): every entry
+    /// of `layouts` is the same program placed differently in memory; each
+    /// is executed once (the layout, not a seed, is what varies).  The
+    /// result's `seed` field records the layout index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the platform configuration is invalid.
+    pub fn run_layout_sweep(&self, layouts: &[Trace]) -> Result<CampaignResult, ConfigError> {
+        self.config.validate()?;
+        if layouts.is_empty() {
+            return Ok(CampaignResult::default());
+        }
+        let threads = self.threads.min(layouts.len()).max(1);
+        let chunk_size = layouts.len().div_ceil(threads);
+        let config = self.config;
+        let mut results: Vec<Vec<RunResult>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = layouts
+                .chunks(chunk_size)
+                .enumerate()
+                .map(|(chunk_index, chunk)| {
+                    scope.spawn(move || -> Result<Vec<RunResult>, ConfigError> {
+                        let mut core = InOrderCore::new(&config)?;
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for (offset, layout) in chunk.iter().enumerate() {
+                            let index = (chunk_index * chunk_size + offset) as u64;
+                            let (cycles, stats) = core.execute_isolated(layout, 0);
+                            out.push(RunResult {
+                                seed: index,
+                                cycles,
+                                stats,
+                            });
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let chunk_result = handle.join().expect("campaign worker thread panicked");
+                results.push(chunk_result?);
+            }
+            Ok::<(), ConfigError>(())
+        })?;
+        Ok(CampaignResult::from_runs(results.into_iter().flatten().collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randmod_core::{Address, PlacementKind};
+
+    fn stress_trace() -> Trace {
+        let mut trace = Trace::new();
+        for repeat in 0..3 {
+            for i in 0..640u64 {
+                trace.fetch(Address::new(0x1000 + (i % 16) * 32));
+                trace.load(Address::new(0x10_0000 + i * 32 + repeat));
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn campaign_produces_requested_number_of_runs() {
+        let campaign = Campaign::new(
+            PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo),
+            8,
+        )
+        .with_threads(2);
+        let result = campaign.run(&stress_trace()).unwrap();
+        assert_eq!(result.len(), 8);
+        assert!(result.min_cycles() > 0);
+        assert!(result.max_cycles() >= result.min_cycles());
+        assert!(result.mean_cycles() >= result.min_cycles() as f64);
+    }
+
+    #[test]
+    fn campaign_is_reproducible_for_a_given_campaign_seed() {
+        let campaign = Campaign::new(
+            PlatformConfig::leon3().with_l1_placement(PlacementKind::HashRandom),
+            6,
+        )
+        .with_campaign_seed(42)
+        .with_threads(3);
+        let trace = stress_trace();
+        let a = campaign.run(&trace).unwrap();
+        let b = campaign.run(&trace).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let trace = stress_trace();
+        let single = Campaign::new(PlatformConfig::leon3(), 6)
+            .with_campaign_seed(7)
+            .with_threads(1)
+            .run(&trace)
+            .unwrap();
+        let multi = Campaign::new(PlatformConfig::leon3(), 6)
+            .with_campaign_seed(7)
+            .with_threads(4)
+            .run(&trace)
+            .unwrap();
+        assert_eq!(single.cycles(), multi.cycles());
+    }
+
+    #[test]
+    fn empty_campaign_is_empty() {
+        let campaign = Campaign::new(PlatformConfig::leon3(), 0);
+        let result = campaign.run(&stress_trace()).unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.mean_cycles(), 0.0);
+        assert_eq!(result.max_cycles(), 0);
+    }
+
+    #[test]
+    fn run_seeds_uses_exactly_the_given_seeds() {
+        let campaign = Campaign::new(PlatformConfig::leon3(), 0).with_threads(2);
+        let trace = stress_trace();
+        let seeds = [3u64, 1, 4, 1, 5];
+        let result = campaign.run_seeds(&trace, &seeds).unwrap();
+        let recorded: Vec<u64> = result.runs().iter().map(|r| r.seed).collect();
+        assert_eq!(recorded, seeds);
+        // Identical seeds must give identical execution times.
+        assert_eq!(result.runs()[1].cycles, result.runs()[3].cycles);
+    }
+
+    #[test]
+    fn deterministic_layout_sweep_records_layout_indices() {
+        let campaign = Campaign::new(PlatformConfig::leon3_deterministic(), 0).with_threads(2);
+        let base = stress_trace();
+        let layouts: Vec<Trace> = (0..5u64).map(|i| base.with_offsets(i * 64, i * 4096)).collect();
+        let result = campaign.run_layout_sweep(&layouts).unwrap();
+        assert_eq!(result.len(), 5);
+        let indices: Vec<u64> = result.runs().iter().map(|r| r.seed).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+        // Deterministic platform: re-running the sweep reproduces it.
+        assert_eq!(result, campaign.run_layout_sweep(&layouts).unwrap());
+    }
+
+    #[test]
+    fn empty_layout_sweep_is_empty() {
+        let campaign = Campaign::new(PlatformConfig::leon3_deterministic(), 0);
+        assert!(campaign.run_layout_sweep(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn random_placement_produces_execution_time_variability() {
+        let campaign = Campaign::new(
+            PlatformConfig::leon3().with_l1_placement(PlacementKind::HashRandom),
+            20,
+        )
+        .with_threads(4);
+        let result = campaign.run(&stress_trace()).unwrap();
+        assert!(
+            result.max_cycles() > result.min_cycles(),
+            "no execution-time variability across 20 random layouts"
+        );
+    }
+
+    #[test]
+    fn campaign_result_display() {
+        let result = CampaignResult::from_runs(vec![RunResult {
+            seed: 1,
+            cycles: 100,
+            stats: HierarchyStats::default(),
+        }]);
+        assert!(result.to_string().contains("1 runs"));
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let campaign = Campaign::new(PlatformConfig::leon3(), 12);
+        assert_eq!(campaign.runs(), 12);
+        assert_eq!(campaign.config(), &PlatformConfig::leon3());
+    }
+}

@@ -1,0 +1,170 @@
+//! Memory layouts and layout sweeps.
+//!
+//! Where the linker and the RTOS place a program's code, data and stack
+//! determines — under deterministic placement — which cache sets its
+//! addresses fall into, and hence which conflicts it suffers.  MBPTA removes
+//! this dependence; the deterministic high-water-mark protocol instead has
+//! to *sweep* layouts to try to expose bad ones.  [`MemoryLayout`] captures
+//! one placement of the program in memory and [`LayoutSweep`] enumerates a
+//! family of placements for that protocol.
+
+use randmod_core::Address;
+use std::fmt;
+
+/// The base addresses of a program's code, data and stack regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryLayout {
+    /// Base address of the code (text) region.
+    pub code_base: Address,
+    /// Base address of the global/heap data region.
+    pub data_base: Address,
+    /// Base address of the stack region.
+    pub stack_base: Address,
+}
+
+impl MemoryLayout {
+    /// The default layout: regions placed on 1MB boundaries, mimicking a
+    /// typical embedded link map.
+    pub fn new() -> Self {
+        MemoryLayout {
+            code_base: Address::new(0x4000_0000),
+            data_base: Address::new(0x4010_0000),
+            stack_base: Address::new(0x4020_0000),
+        }
+    }
+
+    /// Returns this layout with the code and data regions shifted by the
+    /// given byte offsets (the stack follows the data region).
+    pub fn with_offsets(self, code_offset: u64, data_offset: u64) -> Self {
+        MemoryLayout {
+            code_base: self.code_base.offset(code_offset),
+            data_base: self.data_base.offset(data_offset),
+            stack_base: self.stack_base.offset(data_offset),
+        }
+    }
+}
+
+impl Default for MemoryLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for MemoryLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "code @ {}, data @ {}, stack @ {}",
+            self.code_base, self.data_base, self.stack_base
+        )
+    }
+}
+
+/// Enumerates a family of memory layouts for the deterministic-platform
+/// protocol: the program is re-linked/re-loaded at different offsets and the
+/// high-water mark across the family is recorded.
+///
+/// Offsets advance in multiples of the cache line size within one way and in
+/// page-sized strides across ways, which is the kind of movement a linker
+/// change or an RTOS load-time decision produces.
+///
+/// ```
+/// use randmod_workloads::LayoutSweep;
+///
+/// let layouts: Vec<_> = LayoutSweep::new(8).iter().collect();
+/// assert_eq!(layouts.len(), 8);
+/// assert_ne!(layouts[0], layouts[1]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutSweep {
+    layouts: usize,
+    line_size: u64,
+    page_size: u64,
+}
+
+impl LayoutSweep {
+    /// Creates a sweep of `layouts` distinct memory layouts.
+    pub fn new(layouts: usize) -> Self {
+        LayoutSweep {
+            layouts,
+            line_size: 32,
+            page_size: 4096,
+        }
+    }
+
+    /// Number of layouts in the sweep.
+    pub fn len(&self) -> usize {
+        self.layouts
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layouts == 0
+    }
+
+    /// Iterates over the layouts of the sweep.
+    pub fn iter(&self) -> impl Iterator<Item = MemoryLayout> + '_ {
+        let base = MemoryLayout::default();
+        let line = self.line_size;
+        let page = self.page_size;
+        (0..self.layouts).map(move |i| {
+            let i = i as u64;
+            // Move code by whole lines, data by a mix of line- and
+            // page-granularity steps so both intra-way and cross-way
+            // alignments are explored.
+            let code_offset = (i % 16) * line + (i / 16) * page;
+            let data_offset = i * line * 3 + (i % 8) * page;
+            base.with_offsets(code_offset, data_offset)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn default_layout_separates_regions() {
+        let layout = MemoryLayout::default();
+        assert!(layout.code_base < layout.data_base);
+        assert!(layout.data_base < layout.stack_base);
+        assert!(layout.to_string().contains("code @"));
+    }
+
+    #[test]
+    fn with_offsets_shifts_regions() {
+        let layout = MemoryLayout::default().with_offsets(0x100, 0x2000);
+        assert_eq!(layout.code_base, Address::new(0x4000_0100));
+        assert_eq!(layout.data_base, Address::new(0x4010_2000));
+        assert_eq!(layout.stack_base, Address::new(0x4020_2000));
+    }
+
+    #[test]
+    fn sweep_produces_distinct_layouts() {
+        let sweep = LayoutSweep::new(32);
+        let layouts: HashSet<MemoryLayout> = sweep.iter().collect();
+        assert_eq!(layouts.len(), 32);
+        assert_eq!(sweep.len(), 32);
+        assert!(!sweep.is_empty());
+    }
+
+    #[test]
+    fn empty_sweep() {
+        let sweep = LayoutSweep::new(0);
+        assert!(sweep.is_empty());
+        assert_eq!(sweep.iter().count(), 0);
+    }
+
+    #[test]
+    fn sweep_offsets_change_line_alignment() {
+        // At least some pairs of layouts must differ in their alignment
+        // within a cache way (4KB), otherwise the sweep would not explore
+        // different modulo layouts.
+        let alignments: HashSet<u64> = LayoutSweep::new(16)
+            .iter()
+            .map(|l| l.data_base.raw() % 4096)
+            .collect();
+        assert!(alignments.len() > 4);
+    }
+}

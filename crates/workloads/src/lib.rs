@@ -1,0 +1,56 @@
+//! # randmod-workloads
+//!
+//! Workload generators for the Random Modulo evaluation.
+//!
+//! The paper evaluates on the EEMBC AutoBench suite plus a synthetic kernel
+//! that traverses a vector of configurable footprint.  EEMBC sources are
+//! proprietary, so this crate provides *EEMBC-like* kernels: parameterised
+//! generators that emit instruction-fetch and data-access streams with the
+//! characteristic structure of each benchmark (loop sizes, table lookups,
+//! pointer chasing, stack traffic, data footprints).  What the placement
+//! policies see — the shape of the address stream — is what matters for the
+//! paper's comparisons; see DESIGN.md for the substitution rationale.
+//!
+//! * [`layout`] — memory layouts (where code, data and stack live) and
+//!   layout sweeps for the deterministic high-water-mark experiments.
+//! * [`builder`] — [`builder::KernelBuilder`], a small toolbox of access
+//!   patterns (sequential code, strided loads, table lookups, pointer
+//!   chases, stack frames) used to assemble kernels.
+//! * [`eembc`] — the eleven EEMBC-AutoBench-like kernels of Table 2.
+//! * [`synthetic`] — the vector-traversal kernel of Figure 5 with 8KB,
+//!   20KB and 160KB footprints.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use randmod_workloads::{EembcBenchmark, MemoryLayout, Workload};
+//!
+//! let trace = EembcBenchmark::A2time.trace(&MemoryLayout::default());
+//! assert!(!trace.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod eembc;
+pub mod layout;
+pub mod synthetic;
+
+pub use builder::KernelBuilder;
+pub use eembc::EembcBenchmark;
+pub use layout::{LayoutSweep, MemoryLayout};
+pub use synthetic::SyntheticKernel;
+
+use randmod_sim::Trace;
+
+/// A workload that can be rendered into a memory-access trace for a given
+/// memory layout.
+pub trait Workload {
+    /// Human-readable name of the workload.
+    fn name(&self) -> String;
+
+    /// Generates the trace of one end-to-end execution ("run to
+    /// completion") under the given memory layout.
+    fn trace(&self, layout: &MemoryLayout) -> Trace;
+}
