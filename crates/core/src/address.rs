@@ -414,6 +414,9 @@ mod tests {
     }
 
     #[test]
+    // The literal is grouped by bit-field (tag | index | offset), not in
+    // equal-width digit groups.
+    #[allow(clippy::unusual_byte_groupings)]
     fn modulo_index_and_tag_split() {
         let g = CacheGeometry::leon3_l1();
         // Address layout: [tag | 7-bit index | 5-bit offset]

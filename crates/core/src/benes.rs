@@ -244,7 +244,7 @@ mod tests {
         let mut sm = crate::prng::SplitMix64::new(7);
         for _ in 0..50 {
             let controls = sm.next_u64() as u128;
-            let mut seen = vec![false; 128];
+            let mut seen = [false; 128];
             for v in 0u32..128 {
                 let out = net.permute_bits(v, controls);
                 assert!(out < 128);

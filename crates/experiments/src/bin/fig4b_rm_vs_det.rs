@@ -4,12 +4,9 @@
 use randmod_experiments::cli::ExperimentOptions;
 use randmod_experiments::fig4;
 
-/// Number of memory layouts swept on the deterministic platform.
-const LAYOUTS: usize = 32;
-
 fn main() {
     let options = ExperimentOptions::from_env();
-    let layouts = if options.quick { 8 } else { LAYOUTS };
+    let layouts = fig4::fig4b_layouts(options.quick);
     println!("# Figure 4(b): RM pWCET at 1e-15 vs deterministic high-water mark ({layouts} layouts)");
     println!("# runs = {}, campaign seed = {:#x}", options.runs, options.campaign_seed);
     match fig4::fig4b(options.runs, layouts, options.campaign_seed) {

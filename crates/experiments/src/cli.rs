@@ -1,11 +1,12 @@
 //! Minimal command-line parsing shared by the experiment binaries.
 
-use crate::{DEFAULT_CAMPAIGN_SEED, DEFAULT_RUNS};
+use crate::{DEFAULT_CAMPAIGN_SEED, DEFAULT_RUNS, MIN_RUNS};
 
 /// Options common to all experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentOptions {
-    /// Number of runs per benchmark (`--runs N`).
+    /// Number of runs per benchmark (`--runs N`, clamped to at least
+    /// [`MIN_RUNS`] so the statistical pipeline stays applicable).
     pub runs: usize,
     /// Campaign seed (`--seed N`).
     pub campaign_seed: u64,
@@ -50,12 +51,17 @@ impl ExperimentOptions {
                 }
                 "--quick" => {
                     options.quick = true;
-                    options.runs = options.runs.min(40);
                 }
                 _ => {}
             }
             i += 1;
         }
+        // Apply the quick cap and the pipeline floor after the scan so the
+        // outcome does not depend on argument order.
+        if options.quick {
+            options.runs = options.runs.min(40);
+        }
+        options.runs = options.runs.max(MIN_RUNS);
         options
     }
 
@@ -92,8 +98,24 @@ mod tests {
     }
 
     #[test]
+    fn quick_cap_is_order_independent() {
+        let quick_first = ExperimentOptions::parse(["--quick", "--runs", "100"]);
+        let runs_first = ExperimentOptions::parse(["--runs", "100", "--quick"]);
+        assert_eq!(quick_first, runs_first);
+        assert_eq!(quick_first.runs, 40);
+    }
+
+    #[test]
     fn unknown_and_malformed_arguments_are_ignored() {
         let options = ExperimentOptions::parse(["--sweep", "--runs", "notanumber"]);
         assert_eq!(options.runs, DEFAULT_RUNS);
+    }
+
+    #[test]
+    fn runs_below_the_pipeline_minimum_are_clamped() {
+        let options = ExperimentOptions::parse(["--runs", "5"]);
+        assert_eq!(options.runs, MIN_RUNS);
+        let options = ExperimentOptions::parse(["--quick", "--runs", "1"]);
+        assert_eq!(options.runs, MIN_RUNS);
     }
 }

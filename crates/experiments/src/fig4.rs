@@ -22,6 +22,23 @@ use std::fmt;
 /// criticality levels in automotive and avionics).
 pub const CUTOFF_PROBABILITY: f64 = 1e-15;
 
+/// Number of memory layouts swept on the deterministic platform for
+/// Figure 4(b).
+pub const FIG4B_LAYOUTS: usize = 32;
+
+/// Reduced layout-sweep size used under `--quick`.
+pub const FIG4B_QUICK_LAYOUTS: usize = 8;
+
+/// The Figure 4(b) layout-sweep size for the given mode, shared by the
+/// `fig4b_rm_vs_det` and `run_all` binaries.
+pub fn fig4b_layouts(quick: bool) -> usize {
+    if quick {
+        FIG4B_QUICK_LAYOUTS
+    } else {
+        FIG4B_LAYOUTS
+    }
+}
+
 /// One bar of Figure 4(a).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig4aRow {

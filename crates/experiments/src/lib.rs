@@ -35,5 +35,11 @@ pub mod table2;
 /// (the paper uses 1,000; pass `--runs 1000` to match it).
 pub const DEFAULT_RUNS: usize = 300;
 
+/// Minimum number of runs per campaign accepted by the binaries: the
+/// floor of the statistical pipeline (the exponential-tail test is the
+/// most demanding step).  `--runs` values below it are clamped rather
+/// than panicking mid-campaign.
+pub const MIN_RUNS: usize = randmod_mbpta::iid::ET_MIN_OBSERVATIONS;
+
 /// Default campaign seed, fixed so published numbers are reproducible.
 pub const DEFAULT_CAMPAIGN_SEED: u64 = 0x00C0_FFEE;

@@ -1,0 +1,155 @@
+//! Smoke tests: every experiment binary runs end-to-end with `--quick` and
+//! prints non-empty, well-formed output.  These guard the argument parsing
+//! in `cli.rs` and the wiring of each `[[bin]]` target, not the statistical
+//! quality of the results (the paper-vs-measured record in EXPERIMENTS.md
+//! tracks that).
+
+use std::process::Command;
+
+/// Runs one experiment binary with the given arguments and returns stdout.
+fn run(exe: &str, args: &[&str]) -> String {
+    let output = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|err| panic!("failed to spawn {exe}: {err}"));
+    assert!(
+        output.status.success(),
+        "{exe} exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("experiment output is UTF-8");
+    assert!(!stdout.trim().is_empty(), "{exe} printed nothing");
+    stdout
+}
+
+/// Asserts that every non-comment line below the CSV header splits into
+/// `fields` comma-separated fields, and that at least `min_rows` such data
+/// rows exist.
+fn assert_csv_rows(stdout: &str, header: &str, fields: usize, min_rows: usize) {
+    let mut lines = stdout.lines();
+    assert!(
+        lines.any(|l| l == header),
+        "missing CSV header {header:?} in output:\n{stdout}"
+    );
+    let rows: Vec<&str> = lines
+        .take_while(|l| !l.is_empty())
+        .filter(|l| !l.starts_with('#'))
+        .collect();
+    assert!(
+        rows.len() >= min_rows,
+        "expected at least {min_rows} data rows after {header:?}, got {}",
+        rows.len()
+    );
+    for row in rows {
+        assert_eq!(
+            row.split(',').count(),
+            fields,
+            "malformed CSV row {row:?} (expected {fields} fields)"
+        );
+    }
+}
+
+#[test]
+fn fig1_pwcet_curve_quick() {
+    let stdout = run(env!("CARGO_BIN_EXE_fig1_pwcet_curve"), &["--quick"]);
+    assert_csv_rows(
+        &stdout,
+        "exceedance_probability,execution_time_cycles",
+        2,
+        10,
+    );
+    assert!(stdout.contains("pWCET at the"), "missing cutoff summary");
+}
+
+#[test]
+fn table1_hwcost_quick() {
+    let stdout = run(env!("CARGO_BIN_EXE_table1_hwcost"), &["--quick"]);
+    assert!(stdout.contains("ASIC 45nm"), "missing ASIC row:\n{stdout}");
+    assert!(stdout.contains("FPGA"), "missing FPGA row:\n{stdout}");
+    assert!(
+        stdout.contains("Paper-reported values"),
+        "missing paper comparison:\n{stdout}"
+    );
+}
+
+#[test]
+fn table2_iid_tests_quick() {
+    let stdout = run(env!("CARGO_BIN_EXE_table2_iid_tests"), &["--quick"]);
+    assert_csv_rows(
+        &stdout,
+        "benchmark,ww_statistic,ks_p_value,et_p_value,passed",
+        5,
+        11,
+    );
+}
+
+#[test]
+fn fig4a_rm_vs_hrp_quick() {
+    let stdout = run(env!("CARGO_BIN_EXE_fig4a_rm_vs_hrp"), &["--quick"]);
+    assert_csv_rows(
+        &stdout,
+        "benchmark,pwcet_rm,pwcet_hrp,rm_over_hrp,tightening_percent",
+        5,
+        11,
+    );
+    assert!(stdout.contains("# tightening:"), "missing summary line");
+}
+
+#[test]
+fn fig4b_rm_vs_det_quick() {
+    let stdout = run(env!("CARGO_BIN_EXE_fig4b_rm_vs_det"), &["--quick"]);
+    assert_csv_rows(&stdout, "benchmark,pwcet_rm,deterministic_hwm,rm_over_hwm", 4, 11);
+}
+
+#[test]
+fn fig5_synthetic_quick() {
+    let stdout = run(env!("CARGO_BIN_EXE_fig5_synthetic"), &["--quick"]);
+    assert!(
+        stdout.contains("RM execution-time histogram"),
+        "missing RM histogram:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("hRP execution-time histogram"),
+        "missing hRP histogram:\n{stdout}"
+    );
+    assert!(stdout.contains("pWCET curves"), "missing curve section");
+}
+
+#[test]
+fn sec44_avg_performance_quick() {
+    let stdout = run(env!("CARGO_BIN_EXE_sec44_avg_performance"), &["--quick"]);
+    assert_csv_rows(
+        &stdout,
+        "benchmark,rm_mean_cycles,modulo_cycles,degradation_percent",
+        4,
+        11,
+    );
+    assert!(stdout.contains("# degradation:"), "missing summary line");
+}
+
+#[test]
+fn run_all_quick() {
+    let stdout = run(env!("CARGO_BIN_EXE_run_all"), &["--quick"]);
+    for artefact in [
+        "table1_hwcost",
+        "fig1_pwcet_curve",
+        "table2_iid_tests",
+        "fig4a_rm_vs_hrp",
+        "fig4b_rm_vs_det",
+        "fig5_synthetic",
+        "sec44_avg_performance",
+    ] {
+        assert!(stdout.contains(artefact), "missing {artefact} in:\n{stdout}");
+    }
+    assert!(!stdout.contains("FAILED"), "an experiment failed:\n{stdout}");
+    assert!(stdout.contains("# all experiments completed"));
+}
+
+#[test]
+fn quick_runs_override_is_clamped_not_fatal() {
+    // `--runs 1` used to panic deep in the ET test; it must now clamp to
+    // the pipeline minimum and complete.
+    let stdout = run(env!("CARGO_BIN_EXE_fig1_pwcet_curve"), &["--quick", "--runs", "1"]);
+    assert!(stdout.contains("runs = 20"), "runs not clamped:\n{stdout}");
+}

@@ -234,6 +234,11 @@ impl fmt::Display for EtTest {
     }
 }
 
+/// Smallest sample the exponential-tail test accepts — and therefore the
+/// floor on MBPTA campaign sizes (the other tests need less).  Consumers
+/// that clamp user-provided run counts should clamp to this.
+pub const ET_MIN_OBSERVATIONS: usize = 20;
+
 /// Runs the exponential-tail test: the excesses over a high threshold
 /// (by default the 1 - `tail_fraction` quantile) are compared against an
 /// exponential distribution fitted by maximum likelihood, using a
@@ -245,10 +250,13 @@ impl fmt::Display for EtTest {
 ///
 /// # Panics
 ///
-/// Panics if the sample has fewer than 20 observations or `tail_fraction`
-/// is not in `(0, 0.5]`.
+/// Panics if the sample has fewer than [`ET_MIN_OBSERVATIONS`]
+/// observations or `tail_fraction` is not in `(0, 0.5]`.
 pub fn exponential_tail(sample: &ExecutionSample, tail_fraction: f64) -> EtTest {
-    assert!(sample.len() >= 20, "ET test needs at least 20 observations");
+    assert!(
+        sample.len() >= ET_MIN_OBSERVATIONS,
+        "ET test needs at least {ET_MIN_OBSERVATIONS} observations"
+    );
     assert!(
         tail_fraction > 0.0 && tail_fraction <= 0.5,
         "tail fraction must be in (0, 0.5]"

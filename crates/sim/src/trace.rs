@@ -321,10 +321,7 @@ mod tests {
 
     #[test]
     fn trace_collect_and_extend() {
-        let events = vec![
-            MemEvent::Load(Address::new(0)),
-            MemEvent::Compute(1),
-        ];
+        let events = [MemEvent::Load(Address::new(0)), MemEvent::Compute(1)];
         let mut t: Trace = events.iter().copied().collect();
         assert_eq!(t.len(), 2);
         t.extend([MemEvent::Store(Address::new(32))]);

@@ -155,12 +155,10 @@ impl KernelBuilder {
             let j = (self.rng.next_u64() % (i as u64 + 1)) as usize;
             order.swap(i, j);
         }
-        let mut position = 0usize;
-        for _ in 0..steps {
-            let node = order[position % order.len()];
+        for position in 0..steps {
+            let node = order[(position % order.len() as u64) as usize];
             let addr = self.data_addr(offset + node * node_bytes);
             self.trace.load(addr);
-            position += 1;
         }
     }
 

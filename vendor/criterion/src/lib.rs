@@ -1,0 +1,242 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds in hermetic environments with no registry access,
+//! so this crate provides the (small) slice of the criterion 0.5 API that
+//! the `randmod-bench` targets use: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Behaviour follows the real harness's two modes:
+//!
+//! * invoked by `cargo bench` (cargo passes `--bench`): every benchmark is
+//!   warmed up and timed over a fixed number of samples, and a
+//!   `name  time: [median]` line is printed per benchmark;
+//! * invoked by `cargo test` (no `--bench` argument): benchmarks are
+//!   registered and listed but not executed, so test runs stay fast.
+//!
+//! Swapping the real criterion back in is a one-line change in the root
+//! `Cargo.toml`; no bench source needs to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples collected per benchmark in bench mode.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench executables with `--bench`
+        // under `cargo bench`, and without it under `cargo test`.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a function under the given name.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.bench_mode, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a common name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the throughput of one benchmark iteration (accepted for API
+    /// compatibility; the stub reports wall-clock time only).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the stub
+    /// always uses a small fixed sample count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion.bench_mode, &full, &mut f);
+        self
+    }
+
+    /// Benchmarks a function that receives a borrowed input under
+    /// `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion.bench_mode, &full, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    bench_mode: bool,
+    /// Median per-iteration time measured by the last [`Bencher::iter`].
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times the given routine.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.bench_mode {
+            return;
+        }
+        // One warm-up pass, then time a fixed number of samples and keep
+        // the median so a stray slow sample does not skew the report.
+        black_box(routine());
+        let mut samples: Vec<Duration> = (0..DEFAULT_SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        self.elapsed = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one(bench_mode: bool, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if !bench_mode {
+        println!("bench {name}: registered (run with `cargo bench` to time it)");
+        return;
+    }
+    let mut bencher = Bencher {
+        bench_mode,
+        elapsed: None,
+    };
+    f(&mut bencher);
+    match bencher.elapsed {
+        Some(t) => println!("{name}  time: [{t:?} per iteration, median of {DEFAULT_SAMPLES}]"),
+        None => println!("{name}  time: [not measured]"),
+    }
+}
+
+/// Identifier of one benchmark within a group; mirrors
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversion into a benchmark id, so `&str` and [`BenchmarkId`] are both
+/// accepted where the real criterion accepts them.
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput of one benchmark iteration; mirrors `criterion::Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group of benchmark functions; mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $function(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups; mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}

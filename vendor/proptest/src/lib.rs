@@ -1,0 +1,129 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! This workspace builds in hermetic environments with no registry access,
+//! so this crate implements the slice of the proptest 1.x API used by the
+//! `randmod` property tests: the [`proptest!`] macro, the
+//! [`strategy::Strategy`] trait with ranges / tuples / [`strategy::Just`] /
+//! `prop_map` / [`prop_oneof!`] / [`collection::vec()`], [`arbitrary::any`],
+//! and the `prop_assert*` macros.
+//!
+//! Unlike the real proptest it does not shrink failing inputs: a failing
+//! case panics with the generated values' `Debug` rendering instead.  Value
+//! generation is deterministic (a fixed-seed SplitMix64 stream, perturbed
+//! per test name) so failures reproduce across runs.  Swapping the real
+//! proptest back in is a one-line change in the root `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The customary proptest prelude: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let case_description = format!(
+                    concat!("case {} of ", stringify!($name), ": ", $(stringify!($arg), " = {:?}, ",)+ "(re-run to reproduce: generation is deterministic)"),
+                    case, $(&$arg),+
+                );
+                $crate::test_runner::CASE.with(|slot| *slot.borrow_mut() = Some(case_description));
+                { $body }
+                $crate::test_runner::CASE.with(|slot| *slot.borrow_mut() = None);
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, reporting the generated
+/// inputs of the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!(
+                "{}\n[proptest stub] {}",
+                format!($($fmt)*),
+                $crate::test_runner::current_case()
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test, reporting the generated inputs
+/// of the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test, reporting the generated
+/// inputs of the failing case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Picks uniformly among the given strategies (all yielding the same value
+/// type); mirrors `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![ $(Box::new($strategy)),+ ])
+    };
+}

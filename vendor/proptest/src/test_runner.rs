@@ -1,0 +1,82 @@
+//! Test-runner configuration and the deterministic value generator.
+
+use std::cell::RefCell;
+
+/// Configuration accepted by `#![proptest_config(...)]`; mirrors
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator backing all strategies: a SplitMix64 stream
+/// seeded from a fixed constant perturbed by the test name, so every test
+/// sees a stable but distinct input sequence across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for the named property test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name, folded into a fixed global seed.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: hash ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128 uniformly distributed bits.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// A uniformly distributed index below `bound` (which must be > 0).
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot pick from an empty set of choices");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+thread_local! {
+    /// Description of the property-test case currently executing, consulted
+    /// by the `prop_assert*` macros when a case fails.
+    pub static CASE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// The description of the currently executing case, if any.
+pub fn current_case() -> String {
+    CASE.with(|slot| {
+        slot.borrow()
+            .clone()
+            .unwrap_or_else(|| "outside a proptest case".to_string())
+    })
+}
