@@ -5,9 +5,17 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use randmod_bench::BENCH_RUNS;
+use randmod_experiments::cli::ExperimentOptions;
 use randmod_experiments::{fig1, fig4, fig5, sec44, table1, table2};
 use randmod_workloads::{EembcBenchmark, SyntheticKernel};
 use std::hint::black_box;
+
+/// Bench-sized options: `BENCH_RUNS` runs with the given campaign seed.
+fn bench_options(seed: u64) -> ExperimentOptions {
+    ExperimentOptions::default()
+        .with_runs(BENCH_RUNS)
+        .with_campaign_seed(seed)
+}
 
 fn bench_table1(c: &mut Criterion) {
     c.bench_function("paper/table1_hwcost", |b| {
@@ -24,7 +32,7 @@ fn bench_fig1(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("generate", |b| {
         b.iter(|| {
-            let result = fig1::generate(BENCH_RUNS, 1).expect("valid platform");
+            let result = fig1::generate(&bench_options(1)).expect("valid platform");
             assert_eq!(result.points.len(), 18);
             black_box(result)
         })
@@ -37,7 +45,7 @@ fn bench_table2(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("one_benchmark_row", |b| {
         b.iter(|| {
-            let row = table2::row_for(EembcBenchmark::Puwmod, BENCH_RUNS, 2).expect("valid platform");
+            let row = table2::row_for(EembcBenchmark::Puwmod, &bench_options(2)).expect("valid platform");
             assert!(row.ww_statistic.is_finite());
             black_box(row)
         })
@@ -50,7 +58,7 @@ fn bench_fig4a(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("one_benchmark_row", |b| {
         b.iter(|| {
-            let row = fig4::fig4a_row(EembcBenchmark::Bitmnp, BENCH_RUNS, 3).expect("valid platform");
+            let row = fig4::fig4a_row(EembcBenchmark::Bitmnp, &bench_options(3)).expect("valid platform");
             assert!(row.pwcet_rm > 0.0 && row.pwcet_hrp > 0.0);
             black_box(row)
         })
@@ -64,7 +72,7 @@ fn bench_fig4b(c: &mut Criterion) {
     group.bench_function("one_benchmark_row", |b| {
         b.iter(|| {
             let row =
-                fig4::fig4b_row(EembcBenchmark::Rspeed, BENCH_RUNS, 8, 4).expect("valid platform");
+                fig4::fig4b_row(EembcBenchmark::Rspeed, 8, &bench_options(4)).expect("valid platform");
             assert!(row.deterministic_hwm.value() > 0);
             black_box(row)
         })
@@ -79,8 +87,7 @@ fn bench_fig5(c: &mut Criterion) {
         b.iter(|| {
             let result = fig5::compare(
                 SyntheticKernel::with_traversals(20 * 1024, 5),
-                BENCH_RUNS,
-                5,
+                &bench_options(5),
             )
             .expect("valid platform");
             assert!(result.hrp_pwcet >= result.rm_pwcet * 0.9);
@@ -95,7 +102,7 @@ fn bench_sec44(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("one_benchmark_row", |b| {
         b.iter(|| {
-            let row = sec44::row_for(EembcBenchmark::Rspeed, BENCH_RUNS, 6).expect("valid platform");
+            let row = sec44::row_for(EembcBenchmark::Rspeed, &bench_options(6)).expect("valid platform");
             assert!(row.modulo_cycles > 0.0);
             black_box(row)
         })

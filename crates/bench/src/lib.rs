@@ -22,17 +22,15 @@
 #![warn(missing_docs)]
 
 use randmod_core::PlacementKind;
-use randmod_sim::{PlatformConfig, Trace};
+use randmod_sim::{PackedTrace, PlatformConfig, Trace};
 use randmod_workloads::{MemoryLayout, SyntheticKernel, Workload};
 
 /// Number of runs per campaign used by the table/figure benches (kept small
 /// so `cargo bench` completes quickly; the experiment binaries use more).
 pub const BENCH_RUNS: usize = 60;
 
-// Keep the bench campaigns above the MBPTA pipeline floor
-// (`randmod_mbpta::iid::ET_MIN_OBSERVATIONS`; not a dependency of this
-// lib target, so the value is restated here).
-const _: () = assert!(BENCH_RUNS >= 20);
+// Keep the bench campaigns above the MBPTA pipeline floor.
+const _: () = assert!(BENCH_RUNS >= randmod_mbpta::iid::ET_MIN_OBSERVATIONS);
 
 /// A reduced version of the paper's 20KB synthetic kernel used by several
 /// benches (fewer traversals to keep iteration times reasonable).
@@ -40,9 +38,14 @@ pub fn bench_kernel() -> SyntheticKernel {
     SyntheticKernel::with_traversals(20 * 1024, 5)
 }
 
-/// The trace of [`bench_kernel`] under the default memory layout.
+/// The boxed trace of [`bench_kernel`] under the default memory layout.
 pub fn bench_trace() -> Trace {
     bench_kernel().trace(&MemoryLayout::default())
+}
+
+/// The packed trace of [`bench_kernel`] under the default memory layout.
+pub fn bench_packed_trace() -> PackedTrace {
+    bench_kernel().packed_trace(&MemoryLayout::default())
 }
 
 /// The platform used by the benches: the given placement in the L1 caches,
@@ -61,6 +64,7 @@ mod tests {
     fn bench_helpers_produce_consistent_objects() {
         assert_eq!(bench_kernel().footprint_bytes(), 20 * 1024);
         assert!(!bench_trace().is_empty());
+        assert_eq!(bench_packed_trace().to_trace(), bench_trace());
         assert_eq!(
             bench_platform(PlacementKind::RandomModulo).il1.placement,
             PlacementKind::RandomModulo

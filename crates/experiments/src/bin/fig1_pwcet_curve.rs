@@ -7,7 +7,7 @@ fn main() {
     let options = ExperimentOptions::from_env();
     println!("# Figure 1: pWCET curve (CCDF, log scale) for the 20KB synthetic kernel under RM");
     println!("# runs = {}, campaign seed = {:#x}", options.runs, options.campaign_seed);
-    match fig1::generate(options.runs, options.campaign_seed) {
+    match fig1::generate(&options) {
         Ok(result) => {
             println!("exceedance_probability,execution_time_cycles");
             for point in &result.points {

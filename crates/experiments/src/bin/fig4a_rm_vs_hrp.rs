@@ -8,7 +8,7 @@ fn main() {
     let options = ExperimentOptions::from_env();
     println!("# Figure 4(a): pWCET at 1e-15, RM vs hRP in the L1 caches (L2 keeps hRP)");
     println!("# runs = {}, campaign seed = {:#x}", options.runs, options.campaign_seed);
-    match fig4::fig4a(options.runs, options.campaign_seed) {
+    match fig4::fig4a(&options) {
         Ok(rows) => {
             println!("benchmark,pwcet_rm,pwcet_hrp,rm_over_hrp,tightening_percent");
             for row in &rows {

@@ -9,7 +9,7 @@ fn main() {
     let layouts = fig4::fig4b_layouts(options.quick);
     println!("# Figure 4(b): RM pWCET at 1e-15 vs deterministic high-water mark ({layouts} layouts)");
     println!("# runs = {}, campaign seed = {:#x}", options.runs, options.campaign_seed);
-    match fig4::fig4b(options.runs, layouts, options.campaign_seed) {
+    match fig4::fig4b(layouts, &options) {
         Ok(rows) => {
             println!("benchmark,pwcet_rm,deterministic_hwm,rm_over_hwm");
             for row in &rows {

@@ -1,5 +1,8 @@
 //! Regenerates Figure 5: execution-time PDFs and pWCET curves for the
-//! synthetic kernel, plus the 8KB/20KB/160KB footprint sweep (`--sweep`).
+//! synthetic kernel, plus the 8KB/20KB/160KB footprint sweep (`--sweep`)
+//! and the extended large-footprint scenario (`--large`): the 1MB and 4MB
+//! synthetic sweeps and the L2-sized EEMBC-like stress kernel that the
+//! packed streaming trace pipeline makes practical.
 
 use randmod_experiments::cli::ExperimentOptions;
 use randmod_experiments::fig5;
@@ -7,13 +10,16 @@ use randmod_experiments::fig5;
 fn main() {
     let options = ExperimentOptions::from_env();
     let sweep = std::env::args().any(|a| a == "--sweep");
+    let large = std::env::args().any(|a| a == "--large");
     println!("# Figure 5: synthetic kernel, RM vs hRP");
     println!("# runs = {}, campaign seed = {:#x}", options.runs, options.campaign_seed);
 
-    let results = if sweep {
-        fig5::footprint_sweep(options.runs, options.campaign_seed)
+    let results = if large {
+        fig5::large_footprint_sweep(&options)
+    } else if sweep {
+        fig5::footprint_sweep(&options)
     } else {
-        fig5::generate(options.runs, options.campaign_seed).map(|r| vec![r])
+        fig5::generate(&options).map(|r| vec![r])
     };
 
     match results {
@@ -34,6 +40,17 @@ fn main() {
         Err(err) => {
             eprintln!("error: {err}");
             std::process::exit(1);
+        }
+    }
+
+    if large {
+        println!("## L2-sized EEMBC-like stress kernel");
+        match fig5::l2_stress(&options) {
+            Ok(stress) => println!("{stress}"),
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -29,13 +29,13 @@ fn main() {
     );
     check(
         "fig1_pwcet_curve",
-        fig1::generate(options.runs, options.campaign_seed)
+        fig1::generate(&options)
             .map(|r| format!("pWCET at cutoff {:.0} cycles", r.pwcet_at_cutoff))
             .map_err(|e| e.to_string()),
     );
     check(
         "table2_iid_tests",
-        table2::generate(options.runs, options.campaign_seed)
+        table2::generate(&options)
             .map(|rows| {
                 let passed = rows.iter().filter(|r| r.passed).count();
                 format!("{passed}/{} benchmarks pass the i.i.d. tests", rows.len())
@@ -44,7 +44,7 @@ fn main() {
     );
     check(
         "fig4a_rm_vs_hrp",
-        fig4::fig4a(options.runs, options.campaign_seed)
+        fig4::fig4a(&options)
             .map(|rows| {
                 let summary = fig4::summarize_fig4a(&rows);
                 format!("mean tightening {:.1}%", summary.mean_tightening * 100.0)
@@ -53,7 +53,7 @@ fn main() {
     );
     check(
         "fig4b_rm_vs_det",
-        fig4::fig4b(options.runs, layouts, options.campaign_seed)
+        fig4::fig4b(layouts, &options)
             .map(|rows| {
                 let worst = rows
                     .iter()
@@ -65,13 +65,13 @@ fn main() {
     );
     check(
         "fig5_synthetic",
-        fig5::generate(options.runs, options.campaign_seed)
+        fig5::generate(&options)
             .map(|r| format!("RM pWCET {:.0}, hRP pWCET {:.0}", r.rm_pwcet, r.hrp_pwcet))
             .map_err(|e| e.to_string()),
     );
     check(
         "sec44_avg_performance",
-        sec44::generate(options.runs, options.campaign_seed)
+        sec44::generate(&options)
             .map(|rows| {
                 let summary = sec44::summarize(&rows);
                 format!("mean degradation {:.2}%", summary.mean_degradation * 100.0)

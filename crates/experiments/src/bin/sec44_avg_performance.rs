@@ -8,7 +8,7 @@ fn main() {
     let options = ExperimentOptions::from_env();
     println!("# Section 4.4: average performance, RM vs modulo placement");
     println!("# runs = {}, campaign seed = {:#x}", options.runs, options.campaign_seed);
-    match sec44::generate(options.runs, options.campaign_seed) {
+    match sec44::generate(&options) {
         Ok(rows) => {
             println!("benchmark,rm_mean_cycles,modulo_cycles,degradation_percent");
             for row in &rows {

@@ -8,7 +8,7 @@ fn main() {
     let options = ExperimentOptions::from_env();
     println!("# Table 2: i.i.d. tests under RM (WW passes below 1.96, KS passes at or above 0.05)");
     println!("# runs = {}, campaign seed = {:#x}", options.runs, options.campaign_seed);
-    match table2::generate(options.runs, options.campaign_seed) {
+    match table2::generate(&options) {
         Ok(rows) => {
             println!("benchmark,ww_statistic,ks_p_value,et_p_value,passed");
             for row in &rows {

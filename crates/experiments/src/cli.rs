@@ -12,6 +12,9 @@ pub struct ExperimentOptions {
     pub campaign_seed: u64,
     /// Quick mode (`--quick`): very small run counts for smoke testing.
     pub quick: bool,
+    /// Worker-thread override for the campaigns (`--threads N`); `None`
+    /// keeps the default of one worker per available core.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExperimentOptions {
@@ -20,6 +23,7 @@ impl Default for ExperimentOptions {
             runs: DEFAULT_RUNS,
             campaign_seed: DEFAULT_CAMPAIGN_SEED,
             quick: false,
+            threads: None,
         }
     }
 }
@@ -49,6 +53,12 @@ impl ExperimentOptions {
                         i += 1;
                     }
                 }
+                "--threads" => {
+                    if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        options.threads = Some(value);
+                        i += 1;
+                    }
+                }
                 "--quick" => {
                     options.quick = true;
                 }
@@ -62,12 +72,36 @@ impl ExperimentOptions {
             options.runs = options.runs.min(40);
         }
         options.runs = options.runs.max(MIN_RUNS);
+        // A zero thread count would deadlock nothing but makes no sense;
+        // treat it as "no override" (Campaign clamps to 1 anyway).
+        if options.threads == Some(0) {
+            options.threads = None;
+        }
         options
     }
 
     /// Parses options from the process arguments.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// Returns the options with the given run count (test/bench helper).
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Returns the options with the given campaign seed (test/bench
+    /// helper).
+    pub fn with_campaign_seed(mut self, seed: u64) -> Self {
+        self.campaign_seed = seed;
+        self
+    }
+
+    /// Returns the options with a worker-thread override.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
     }
 }
 
@@ -80,6 +114,7 @@ mod tests {
         let options = ExperimentOptions::parse(Vec::<String>::new());
         assert_eq!(options, ExperimentOptions::default());
         assert_eq!(options.runs, DEFAULT_RUNS);
+        assert_eq!(options.threads, None);
     }
 
     #[test]
@@ -88,6 +123,37 @@ mod tests {
         assert_eq!(options.runs, 1000);
         assert_eq!(options.campaign_seed, 7);
         assert!(!options.quick);
+    }
+
+    #[test]
+    fn threads_flag_is_parsed() {
+        let options = ExperimentOptions::parse(["--threads", "4"]);
+        assert_eq!(options.threads, Some(4));
+        // Combined with the other flags, in any position.
+        let options = ExperimentOptions::parse(["--runs", "100", "--threads", "2", "--quick"]);
+        assert_eq!(options.threads, Some(2));
+        assert_eq!(options.runs, 40);
+    }
+
+    #[test]
+    fn malformed_or_zero_thread_counts_are_ignored() {
+        assert_eq!(
+            ExperimentOptions::parse(["--threads", "lots"]).threads,
+            None
+        );
+        assert_eq!(ExperimentOptions::parse(["--threads"]).threads, None);
+        assert_eq!(ExperimentOptions::parse(["--threads", "0"]).threads, None);
+    }
+
+    #[test]
+    fn builder_helpers_set_fields() {
+        let options = ExperimentOptions::default()
+            .with_runs(77)
+            .with_campaign_seed(9)
+            .with_threads(3);
+        assert_eq!(options.runs, 77);
+        assert_eq!(options.campaign_seed, 9);
+        assert_eq!(options.threads, Some(3));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! kernel under RM) so the plotted object is the same one the rest of the
 //! evaluation uses.
 
+use crate::cli::ExperimentOptions;
 use crate::runner;
 use randmod_core::{ConfigError, PlacementKind};
 use randmod_mbpta::PwcetCurve;
@@ -33,15 +34,20 @@ pub struct Fig1Result {
     pub pwcet_at_cutoff: f64,
 }
 
-/// Generates the Figure 1 curve from `runs` runs of the 20KB synthetic
-/// kernel with Random Modulo L1 caches.
+/// Generates the Figure 1 curve from `options.runs` runs of the 20KB
+/// synthetic kernel with Random Modulo L1 caches.
 ///
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn generate(runs: usize, campaign_seed: u64) -> Result<Fig1Result, ConfigError> {
+pub fn generate(options: &ExperimentOptions) -> Result<Fig1Result, ConfigError> {
     let kernel = SyntheticKernel::fits_l2();
-    let sample = runner::measure(&kernel, PlacementKind::RandomModulo, runs, campaign_seed)?;
+    let sample = runner::measure_opts(
+        &kernel,
+        PlacementKind::RandomModulo,
+        options,
+        options.campaign_seed,
+    )?;
     let report = runner::analyze(&sample);
     let cutoff_probability = 1e-15;
     let points = report
@@ -66,7 +72,8 @@ mod tests {
 
     #[test]
     fn curve_is_monotone_and_reaches_the_cutoff() {
-        let result = generate(120, 11).unwrap();
+        let options = ExperimentOptions::default().with_runs(120).with_campaign_seed(11);
+        let result = generate(&options).unwrap();
         assert_eq!(result.points.len(), 18);
         for pair in result.points.windows(2) {
             assert!(pair[0].exceedance_probability > pair[1].exceedance_probability);

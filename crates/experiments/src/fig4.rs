@@ -12,6 +12,7 @@
 //! of memory layouts.  The paper reports RM pWCETs never more than 7% above
 //! the hwm, and below 1% for most benchmarks.
 
+use crate::cli::ExperimentOptions;
 use crate::runner;
 use randmod_core::{ConfigError, PlacementKind};
 use randmod_mbpta::HighWaterMark;
@@ -138,12 +139,11 @@ pub fn summarize_fig4a(rows: &[Fig4aRow]) -> Fig4aSummary {
 /// Returns [`ConfigError`] if the platform configuration is invalid.
 pub fn fig4a_row(
     benchmark: EembcBenchmark,
-    runs: usize,
-    campaign_seed: u64,
+    options: &ExperimentOptions,
 ) -> Result<Fig4aRow, ConfigError> {
-    let seed = campaign_seed ^ (benchmark.initials().as_bytes()[1] as u64) << 8;
-    let rm_sample = runner::measure(&benchmark, PlacementKind::RandomModulo, runs, seed)?;
-    let hrp_sample = runner::measure(&benchmark, PlacementKind::HashRandom, runs, seed)?;
+    let seed = options.campaign_seed ^ (benchmark.initials().as_bytes()[1] as u64) << 8;
+    let rm_sample = runner::measure_opts(&benchmark, PlacementKind::RandomModulo, options, seed)?;
+    let hrp_sample = runner::measure_opts(&benchmark, PlacementKind::HashRandom, options, seed)?;
     Ok(Fig4aRow {
         benchmark,
         pwcet_rm: runner::analyze(&rm_sample).pwcet_at(CUTOFF_PROBABILITY),
@@ -156,10 +156,10 @@ pub fn fig4a_row(
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn fig4a(runs: usize, campaign_seed: u64) -> Result<Vec<Fig4aRow>, ConfigError> {
+pub fn fig4a(options: &ExperimentOptions) -> Result<Vec<Fig4aRow>, ConfigError> {
     EembcBenchmark::ALL
         .iter()
-        .map(|&benchmark| fig4a_row(benchmark, runs, campaign_seed))
+        .map(|&benchmark| fig4a_row(benchmark, options))
         .collect()
 }
 
@@ -171,13 +171,12 @@ pub fn fig4a(runs: usize, campaign_seed: u64) -> Result<Vec<Fig4aRow>, ConfigErr
 /// Returns [`ConfigError`] if the platform configuration is invalid.
 pub fn fig4b_row(
     benchmark: EembcBenchmark,
-    runs: usize,
     layouts: usize,
-    campaign_seed: u64,
+    options: &ExperimentOptions,
 ) -> Result<Fig4bRow, ConfigError> {
-    let seed = campaign_seed ^ (benchmark.initials().as_bytes()[0] as u64) << 16;
-    let rm_sample = runner::measure(&benchmark, PlacementKind::RandomModulo, runs, seed)?;
-    let det_sample = runner::measure_deterministic_sweep(&benchmark, layouts)?;
+    let seed = options.campaign_seed ^ (benchmark.initials().as_bytes()[0] as u64) << 16;
+    let rm_sample = runner::measure_opts(&benchmark, PlacementKind::RandomModulo, options, seed)?;
+    let det_sample = runner::measure_deterministic_sweep(&benchmark, layouts, options.threads)?;
     Ok(Fig4bRow {
         benchmark,
         pwcet_rm: runner::analyze(&rm_sample).pwcet_at(CUTOFF_PROBABILITY),
@@ -190,10 +189,10 @@ pub fn fig4b_row(
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn fig4b(runs: usize, layouts: usize, campaign_seed: u64) -> Result<Vec<Fig4bRow>, ConfigError> {
+pub fn fig4b(layouts: usize, options: &ExperimentOptions) -> Result<Vec<Fig4bRow>, ConfigError> {
     EembcBenchmark::ALL
         .iter()
-        .map(|&benchmark| fig4b_row(benchmark, runs, layouts, campaign_seed))
+        .map(|&benchmark| fig4b_row(benchmark, layouts, options))
         .collect()
 }
 
@@ -205,7 +204,8 @@ mod tests {
     fn fig4a_row_shows_rm_no_worse_than_hrp_for_a_cache_stressing_benchmark() {
         // cacheb stresses the caches the most, where the RM advantage is
         // clearest even with a reduced run count.
-        let row = fig4a_row(EembcBenchmark::Cacheb, 120, 5).unwrap();
+        let options = ExperimentOptions::default().with_runs(120).with_campaign_seed(5);
+        let row = fig4a_row(EembcBenchmark::Cacheb, &options).unwrap();
         assert!(row.pwcet_rm > 0.0 && row.pwcet_hrp > 0.0);
         assert!(
             row.normalized() < 1.05,
@@ -215,7 +215,8 @@ mod tests {
 
     #[test]
     fn fig4b_row_ratio_is_close_to_one() {
-        let row = fig4b_row(EembcBenchmark::Rspeed, 120, 8, 5).unwrap();
+        let options = ExperimentOptions::default().with_runs(120).with_campaign_seed(5);
+        let row = fig4b_row(EembcBenchmark::Rspeed, 8, &options).unwrap();
         assert!(row.deterministic_hwm.value() > 0);
         // RM pWCET should be within a few tens of percent of the
         // deterministic hwm even with reduced runs.

@@ -1,8 +1,16 @@
 //! Shared campaign-running helpers for all experiments.
+//!
+//! Campaigns replay the packed 8-byte-per-event trace representation
+//! ([`randmod_sim::PackedTrace`]): workloads emit straight into the packed
+//! form and the layout sweeps of Figure 4(b) stream one layout's trace at
+//! a time, so no experiment ever materialises a boxed `Vec<MemEvent>` or a
+//! whole `Vec<Trace>` family.
 
+use crate::cli::ExperimentOptions;
 use randmod_core::{ConfigError, PlacementKind};
 use randmod_mbpta::{ExecutionSample, MbptaAnalysis, MbptaConfig, MbptaReport};
-use randmod_sim::{Campaign, PlatformConfig, Trace};
+use randmod_sim::trace::EventSource;
+use randmod_sim::{Campaign, PlatformConfig};
 use randmod_workloads::{LayoutSweep, MemoryLayout, Workload};
 
 /// The experimental platform of Section 4.3: the chosen placement policy in
@@ -11,6 +19,20 @@ pub fn platform_with_l1(placement: PlacementKind) -> PlatformConfig {
     PlatformConfig::leon3()
         .with_l1_placement(placement)
         .with_l2_placement(PlacementKind::HashRandom)
+}
+
+/// Builds a campaign, applying the `--threads` override when set.
+pub fn campaign(
+    platform: PlatformConfig,
+    runs: usize,
+    campaign_seed: u64,
+    threads: Option<usize>,
+) -> Campaign {
+    let campaign = Campaign::new(platform, runs).with_campaign_seed(campaign_seed);
+    match threads {
+        Some(threads) => campaign.with_threads(threads),
+        None => campaign,
+    }
 }
 
 /// Runs an MBPTA measurement campaign for `workload` with the given L1
@@ -24,46 +46,50 @@ pub fn measure(
     l1_placement: PlacementKind,
     runs: usize,
     campaign_seed: u64,
+    threads: Option<usize>,
 ) -> Result<ExecutionSample, ConfigError> {
-    let trace = workload.trace(&MemoryLayout::default());
-    measure_trace(&trace, platform_with_l1(l1_placement), runs, campaign_seed)
+    let trace = workload.packed_trace(&MemoryLayout::default());
+    measure_source(&trace, platform_with_l1(l1_placement), runs, campaign_seed, threads)
 }
 
-/// Runs an MBPTA measurement campaign for an already-generated trace on an
-/// explicit platform.
+/// Runs an MBPTA measurement campaign for an already-generated event
+/// source (packed or boxed) on an explicit platform.
 ///
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn measure_trace(
-    trace: &Trace,
+pub fn measure_source<S>(
+    source: &S,
     platform: PlatformConfig,
     runs: usize,
     campaign_seed: u64,
-) -> Result<ExecutionSample, ConfigError> {
-    let campaign = Campaign::new(platform, runs).with_campaign_seed(campaign_seed);
-    let result = campaign.run(trace)?;
-    Ok(ExecutionSample::from_cycles(&result.cycles()))
+    threads: Option<usize>,
+) -> Result<ExecutionSample, ConfigError>
+where
+    S: EventSource + ?Sized,
+{
+    let result = campaign(platform, runs, campaign_seed, threads).run(source)?;
+    Ok(ExecutionSample::from_cycles_iter(result.cycles_iter()))
 }
 
 /// Runs the deterministic-platform layout sweep (modulo placement, LRU
 /// replacement) for a workload and returns the execution-time sample across
-/// layouts — the input of the high-water-mark protocol.
+/// layouts — the input of the high-water-mark protocol.  The sweep is
+/// streamed: each worker thread regenerates (and drops) one layout's
+/// packed trace at a time, so memory stays constant in the sweep size.
 ///
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the platform configuration is invalid.
 pub fn measure_deterministic_sweep(
-    workload: &dyn Workload,
+    workload: &(dyn Workload + Sync),
     layouts: usize,
+    threads: Option<usize>,
 ) -> Result<ExecutionSample, ConfigError> {
-    let traces: Vec<Trace> = LayoutSweep::new(layouts)
-        .iter()
-        .map(|layout| workload.trace(&layout))
-        .collect();
-    let campaign = Campaign::new(PlatformConfig::leon3_deterministic(), 0);
-    let result = campaign.run_layout_sweep(&traces)?;
-    Ok(ExecutionSample::from_cycles(&result.cycles()))
+    let sweep = LayoutSweep::new(layouts);
+    let result = campaign(PlatformConfig::leon3_deterministic(), 0, 0, threads)
+        .run_layout_sweep_with(sweep.len(), |i| workload.packed_trace(&sweep.layout(i)))?;
+    Ok(ExecutionSample::from_cycles_iter(result.cycles_iter()))
 }
 
 /// Applies the standard MBPTA analysis (block size scaled to the sample) to
@@ -77,6 +103,21 @@ pub fn analyze(sample: &ExecutionSample) -> MbptaReport {
     MbptaAnalysis::new(config).analyze(sample)
 }
 
+/// `measure` driven by [`ExperimentOptions`] (runs, threads), with a
+/// per-experiment seed.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the platform configuration is invalid.
+pub fn measure_opts(
+    workload: &dyn Workload,
+    l1_placement: PlacementKind,
+    options: &ExperimentOptions,
+    campaign_seed: u64,
+) -> Result<ExecutionSample, ConfigError> {
+    measure(workload, l1_placement, options.runs, campaign_seed, options.threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,9 +126,19 @@ mod tests {
     #[test]
     fn measure_produces_requested_runs() {
         let kernel = SyntheticKernel::with_traversals(4 * 1024, 3);
-        let sample = measure(&kernel, PlacementKind::RandomModulo, 12, 1).unwrap();
+        let sample = measure(&kernel, PlacementKind::RandomModulo, 12, 1, None).unwrap();
         assert_eq!(sample.len(), 12);
         assert!(sample.min() > 0);
+    }
+
+    #[test]
+    fn thread_override_does_not_change_the_sample() {
+        let kernel = SyntheticKernel::with_traversals(4 * 1024, 3);
+        let default_threads = measure(&kernel, PlacementKind::RandomModulo, 10, 2, None).unwrap();
+        let one_thread = measure(&kernel, PlacementKind::RandomModulo, 10, 2, Some(1)).unwrap();
+        let four_threads = measure(&kernel, PlacementKind::RandomModulo, 10, 2, Some(4)).unwrap();
+        assert_eq!(default_threads, one_thread);
+        assert_eq!(default_threads, four_threads);
     }
 
     #[test]
@@ -100,8 +151,38 @@ mod tests {
     #[test]
     fn deterministic_sweep_runs_once_per_layout() {
         let kernel = SyntheticKernel::with_traversals(4 * 1024, 2);
-        let sample = measure_deterministic_sweep(&kernel, 6).unwrap();
+        let sample = measure_deterministic_sweep(&kernel, 6, None).unwrap();
         assert_eq!(sample.len(), 6);
+    }
+
+    #[test]
+    fn streamed_sweep_matches_the_collected_protocol() {
+        use randmod_sim::Trace;
+        let kernel = SyntheticKernel::with_traversals(4 * 1024, 2);
+        let streamed = measure_deterministic_sweep(&kernel, 5, Some(2)).unwrap();
+        // The pre-streaming protocol: collect every layout's boxed trace,
+        // then sweep.
+        let traces: Vec<Trace> = LayoutSweep::new(5)
+            .iter()
+            .map(|layout| kernel.trace(&layout))
+            .collect();
+        let collected = Campaign::new(PlatformConfig::leon3_deterministic(), 0)
+            .run_layout_sweep(&traces)
+            .unwrap();
+        assert_eq!(
+            streamed,
+            ExecutionSample::from_cycles_iter(collected.cycles_iter())
+        );
+    }
+
+    #[test]
+    fn measure_opts_applies_runs_and_threads() {
+        let kernel = SyntheticKernel::with_traversals(4 * 1024, 2);
+        let options = crate::cli::ExperimentOptions::default()
+            .with_runs(8)
+            .with_threads(2);
+        let sample = measure_opts(&kernel, PlacementKind::RandomModulo, &options, 3).unwrap();
+        assert_eq!(sample.len(), 8);
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! degradation of 8% — i.e. the MBPTA compliance comes at essentially no
 //! average-performance cost.
 
+use crate::cli::ExperimentOptions;
 use crate::runner;
 use randmod_core::{ConfigError, PlacementKind, ReplacementKind};
-use randmod_sim::{Campaign, PlatformConfig};
+use randmod_sim::PlatformConfig;
 use randmod_workloads::{EembcBenchmark, MemoryLayout, Workload};
 use std::fmt;
 
@@ -61,26 +62,31 @@ pub fn summarize(rows: &[AvgPerformanceRow]) -> AvgPerformanceSummary {
     }
 }
 
-/// Computes one row: the benchmark's mean execution time over `runs` RM runs
-/// against a single run on the conventional deterministic platform.
+/// Computes one row: the benchmark's mean execution time over
+/// `options.runs` RM runs against a single run on the conventional
+/// deterministic platform.
 ///
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the platform configuration is invalid.
 pub fn row_for(
     benchmark: EembcBenchmark,
-    runs: usize,
-    campaign_seed: u64,
+    options: &ExperimentOptions,
 ) -> Result<AvgPerformanceRow, ConfigError> {
-    let rm_sample = runner::measure(&benchmark, PlacementKind::RandomModulo, runs, campaign_seed)?;
+    let rm_sample = runner::measure_opts(
+        &benchmark,
+        PlacementKind::RandomModulo,
+        options,
+        options.campaign_seed,
+    )?;
     // The modulo baseline keeps random replacement (as the LEON-family
     // caches the paper builds on do), so the comparison isolates the effect
     // of the placement function; one run suffices per layout since modulo
     // placement ignores the seed and the replacement draws average out.
-    let trace = benchmark.trace(&MemoryLayout::default());
+    let trace = benchmark.packed_trace(&MemoryLayout::default());
     let deterministic =
         PlatformConfig::leon3_deterministic().with_replacement(ReplacementKind::Random);
-    let result = Campaign::new(deterministic, 0).run_seeds(&trace, &[0])?;
+    let result = runner::campaign(deterministic, 0, 0, options.threads).run_seeds(&trace, &[0])?;
     Ok(AvgPerformanceRow {
         benchmark,
         rm_mean_cycles: rm_sample.mean(),
@@ -93,10 +99,10 @@ pub fn row_for(
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn generate(runs: usize, campaign_seed: u64) -> Result<Vec<AvgPerformanceRow>, ConfigError> {
+pub fn generate(options: &ExperimentOptions) -> Result<Vec<AvgPerformanceRow>, ConfigError> {
     EembcBenchmark::ALL
         .iter()
-        .map(|&benchmark| row_for(benchmark, runs, campaign_seed))
+        .map(|&benchmark| row_for(benchmark, options))
         .collect()
 }
 
@@ -106,7 +112,8 @@ mod tests {
 
     #[test]
     fn rm_average_performance_is_close_to_modulo_for_a_small_kernel() {
-        let row = row_for(EembcBenchmark::Rspeed, 60, 4).unwrap();
+        let options = ExperimentOptions::default().with_runs(60).with_campaign_seed(4);
+        let row = row_for(EembcBenchmark::Rspeed, &options).unwrap();
         assert!(row.rm_mean_cycles > 0.0 && row.modulo_cycles > 0.0);
         // rspeed fits comfortably in the L1: RM should be within ~15% of
         // modulo even with a reduced run count.

@@ -8,6 +8,7 @@
 //! KS p ≥ 0.05).  This experiment reproduces the table and additionally
 //! reports the ET (Gumbel convergence) test the paper mentions in the text.
 
+use crate::cli::ExperimentOptions;
 use crate::runner;
 use randmod_core::{ConfigError, PlacementKind};
 use randmod_workloads::EembcBenchmark;
@@ -44,16 +45,16 @@ impl fmt::Display for Table2Row {
     }
 }
 
-/// Runs the Table 2 campaign: every EEMBC benchmark, `runs` runs, RM in the
-/// L1 caches.
+/// Runs the Table 2 campaign: every EEMBC benchmark, `options.runs` runs,
+/// RM in the L1 caches.
 ///
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn generate(runs: usize, campaign_seed: u64) -> Result<Vec<Table2Row>, ConfigError> {
+pub fn generate(options: &ExperimentOptions) -> Result<Vec<Table2Row>, ConfigError> {
     EembcBenchmark::ALL
         .iter()
-        .map(|&benchmark| row_for(benchmark, runs, campaign_seed))
+        .map(|&benchmark| row_for(benchmark, options))
         .collect()
 }
 
@@ -64,14 +65,13 @@ pub fn generate(runs: usize, campaign_seed: u64) -> Result<Vec<Table2Row>, Confi
 /// Returns [`ConfigError`] if the platform configuration is invalid.
 pub fn row_for(
     benchmark: EembcBenchmark,
-    runs: usize,
-    campaign_seed: u64,
+    options: &ExperimentOptions,
 ) -> Result<Table2Row, ConfigError> {
-    let sample = runner::measure(
+    let sample = runner::measure_opts(
         &benchmark,
         PlacementKind::RandomModulo,
-        runs,
-        campaign_seed ^ benchmark.initials().as_bytes()[0] as u64,
+        options,
+        options.campaign_seed ^ benchmark.initials().as_bytes()[0] as u64,
     )?;
     let report = runner::analyze(&sample);
     Ok(Table2Row {
@@ -92,7 +92,8 @@ mod tests {
     fn a_single_benchmark_row_passes_the_iid_tests() {
         // A reduced-run sanity check on one benchmark; the full table is
         // exercised by the integration tests and the experiment binary.
-        let row = row_for(EembcBenchmark::A2time, 150, 3).unwrap();
+        let options = ExperimentOptions::default().with_runs(150).with_campaign_seed(3);
+        let row = row_for(EembcBenchmark::A2time, &options).unwrap();
         assert_eq!(row.runs, 150);
         assert!(row.ww_statistic.is_finite());
         assert!(row.passed, "{row}");

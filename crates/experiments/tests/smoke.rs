@@ -117,6 +117,42 @@ fn fig5_synthetic_quick() {
 }
 
 #[test]
+fn fig5_large_footprint_quick() {
+    // The multi-MB scenario the packed streaming pipeline enables: the 1MB
+    // and 4MB synthetic sweeps plus the L2-sized EEMBC-like stress kernel
+    // must run to completion under --quick.
+    let stdout = run(env!("CARGO_BIN_EXE_fig5_synthetic"), &["--quick", "--large"]);
+    assert!(
+        stdout.contains("1024KB footprint"),
+        "missing 1MB sweep:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("4096KB footprint"),
+        "missing 4MB sweep:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("eembc-stress-128kb"),
+        "missing L2-sized stress kernel:\n{stdout}"
+    );
+    assert!(stdout.contains("spread ratio"), "missing comparison:\n{stdout}");
+}
+
+#[test]
+fn thread_override_is_accepted_and_preserves_results() {
+    // --threads must parse and must not change the measured sample (runs
+    // are independent; partitioning them differently is invisible).
+    let one = run(
+        env!("CARGO_BIN_EXE_fig1_pwcet_curve"),
+        &["--quick", "--threads", "1"],
+    );
+    let four = run(
+        env!("CARGO_BIN_EXE_fig1_pwcet_curve"),
+        &["--quick", "--threads", "4"],
+    );
+    assert_eq!(one, four, "thread count changed experiment output");
+}
+
+#[test]
 fn sec44_avg_performance_quick() {
     let stdout = run(env!("CARGO_BIN_EXE_sec44_avg_performance"), &["--quick"]);
     assert_csv_rows(

@@ -21,9 +21,13 @@ pub struct ExecutionSample {
 impl ExecutionSample {
     /// Creates a sample from raw cycle counts.
     pub fn from_cycles(cycles: &[u64]) -> Self {
-        ExecutionSample {
-            values: cycles.iter().map(|&c| c as f64).collect(),
-        }
+        Self::from_cycles_iter(cycles.iter().copied())
+    }
+
+    /// Creates a sample by draining an iterator of cycle counts, without
+    /// an intermediate `Vec<u64>` (feed it `CampaignResult::cycles_iter`).
+    pub fn from_cycles_iter<I: IntoIterator<Item = u64>>(cycles: I) -> Self {
+        cycles.into_iter().collect()
     }
 
     /// Creates a sample from floating-point observations.
@@ -247,5 +251,14 @@ mod tests {
         assert_eq!(s.len(), 4);
         assert_eq!(s.max(), 4);
         assert!(s.to_string().contains("4 observations"));
+    }
+
+    #[test]
+    fn from_cycles_iter_matches_from_cycles() {
+        let cycles = [10u64, 20, 30];
+        assert_eq!(
+            ExecutionSample::from_cycles_iter(cycles.iter().copied()),
+            ExecutionSample::from_cycles(&cycles)
+        );
     }
 }

@@ -3,12 +3,14 @@
 //! The LEON3 is a single-issue, in-order SPARC V8 core: to first order, the
 //! execution time of a program is the sum of the latencies of its
 //! instruction fetches, data accesses and computation intervals.
-//! [`InOrderCore`] executes a [`Trace`] on top of a [`MemoryHierarchy`] and
-//! accumulates exactly that sum.
+//! [`InOrderCore`] executes any stream of [`MemEvent`]s — a boxed
+//! [`crate::trace::Trace`], a packed [`crate::packed::PackedTrace`] or a
+//! generator-fed iterator — on top of a [`MemoryHierarchy`] and accumulates
+//! exactly that sum.
 
 use crate::config::PlatformConfig;
 use crate::hierarchy::{HierarchyStats, MemoryHierarchy};
-use crate::trace::Trace;
+use crate::trace::MemEvent;
 use randmod_core::ConfigError;
 
 /// An in-order, single-issue core executing traces on a memory hierarchy.
@@ -52,25 +54,36 @@ impl InOrderCore {
         self.hierarchy.reseed(seed);
     }
 
-    /// Executes the trace to completion and returns the cycle count.
+    /// Executes an event stream to completion and returns the cycle count.
+    ///
+    /// Accepts anything that iterates [`MemEvent`]s by value: `&Trace`,
+    /// `&PackedTrace`, slices, or a decoding/generating iterator — the
+    /// stream is consumed on the fly, never materialised.
     ///
     /// Statistics accumulate across calls; use [`Self::reset_stats`] or
     /// [`Self::execute_isolated`] for per-run numbers.
-    pub fn execute(&mut self, trace: &Trace) -> u64 {
+    pub fn execute<I>(&mut self, events: I) -> u64
+    where
+        I: IntoIterator<Item = MemEvent>,
+    {
         let mut cycles = 0u64;
-        for &event in trace {
+        for event in events {
             cycles += self.hierarchy.access(event);
         }
         cycles
     }
 
-    /// Resets statistics, executes the trace on cold caches under `seed`,
-    /// and returns the cycle count together with the per-level statistics —
-    /// the "run to completion" unit of analysis the paper uses.
-    pub fn execute_isolated(&mut self, trace: &Trace, seed: u64) -> (u64, HierarchyStats) {
+    /// Resets statistics, executes the event stream on cold caches under
+    /// `seed`, and returns the cycle count together with the per-level
+    /// statistics — the "run to completion" unit of analysis the paper
+    /// uses.
+    pub fn execute_isolated<I>(&mut self, events: I, seed: u64) -> (u64, HierarchyStats)
+    where
+        I: IntoIterator<Item = MemEvent>,
+    {
         self.reseed(seed);
         self.reset_stats();
-        let cycles = self.execute(trace);
+        let cycles = self.execute(events);
         (cycles, self.stats())
     }
 
@@ -93,6 +106,8 @@ impl InOrderCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packed::PackedTrace;
+    use crate::trace::Trace;
     use randmod_core::{Address, PlacementKind};
 
     fn loop_trace(iterations: usize, lines: u64) -> Trace {
@@ -110,7 +125,7 @@ mod tests {
     #[test]
     fn empty_trace_costs_nothing() {
         let mut core = InOrderCore::new(&PlatformConfig::leon3()).unwrap();
-        assert_eq!(core.execute(&Trace::new()), 0);
+        assert_eq!(core.execute(Trace::new()), 0);
     }
 
     #[test]
@@ -145,6 +160,20 @@ mod tests {
         let (b, stats_b) = core.execute_isolated(&trace, 99);
         assert_eq!(a, b);
         assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn packed_and_boxed_replay_are_cycle_identical() {
+        let config = PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo);
+        let mut core = InOrderCore::new(&config).unwrap();
+        let trace = loop_trace(2, 512);
+        let packed = PackedTrace::from(&trace);
+        for seed in [0u64, 7, 99] {
+            let (boxed_cycles, boxed_stats) = core.execute_isolated(&trace, seed);
+            let (packed_cycles, packed_stats) = core.execute_isolated(&packed, seed);
+            assert_eq!(boxed_cycles, packed_cycles);
+            assert_eq!(boxed_stats, packed_stats);
+        }
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! * [`config`] — platform configuration (cache geometries, placement and
 //!   replacement policies per level, latencies) with LEON3-like defaults.
 //! * [`trace`] — memory-access traces ([`MemEvent`], [`Trace`]) produced by
-//!   the workload generators of `randmod-workloads`.
+//!   the workload generators of `randmod-workloads`, plus the streaming
+//!   [`EventSink`] / [`EventSource`] pipeline abstractions.
+//! * [`packed`] — [`PackedTrace`], the 8-byte-per-event replay format with
+//!   an on-the-fly decoding iterator (half the memory of a boxed
+//!   [`Trace`]).
 //! * [`hierarchy`] — the two-level cache hierarchy (IL1 + DL1 + unified L2
 //!   partition + main memory) with per-level statistics.
 //! * [`cpu`] — an in-order single-issue core model that executes a trace on
@@ -48,11 +52,13 @@
 pub mod config;
 pub mod cpu;
 pub mod hierarchy;
+pub mod packed;
 pub mod run;
 pub mod trace;
 
 pub use config::{CacheConfig, LatencyConfig, PlatformConfig};
 pub use cpu::InOrderCore;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy};
+pub use packed::PackedTrace;
 pub use run::{Campaign, CampaignResult, RunResult};
-pub use trace::{MemEvent, Trace, TraceStats};
+pub use trace::{EventSink, EventSource, MemEvent, SinkFn, Trace, TraceStats};

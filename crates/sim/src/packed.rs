@@ -1,0 +1,344 @@
+//! Packed trace representation: one 8-byte word per event.
+//!
+//! A [`crate::trace::Trace`] stores `Vec<MemEvent>`, and the enum layout of
+//! [`MemEvent`] costs 16 bytes per event (discriminant + padding + payload).
+//! Replay campaigns stream the same trace hundreds of times, so the trace
+//! representation sits on the memory-bandwidth hot path of every
+//! experiment.  [`PackedTrace`] halves it: each event is a single `u64`
+//! with a 2-bit kind tag in the low bits and the payload above —
+//!
+//! ```text
+//! 63                                            2 1 0
+//! +----------------------------------------------+---+
+//! |                payload (62 bits)             |tag|
+//! +----------------------------------------------+---+
+//! ```
+//!
+//! The payload is the raw byte address for fetches, loads and stores (the
+//! generators emit word-aligned addresses, so the two bits the tag occupies
+//! are recovered by shifting rather than masking — unaligned addresses
+//! round-trip too) and the cycle count for compute intervals.  Decoding is
+//! a shift and a 4-way match, done on the fly by [`PackedEvents`]; no
+//! intermediate `Vec<MemEvent>` is ever materialised during replay.
+
+use crate::trace::{EventSink, EventSource, MemEvent, Trace};
+use randmod_core::Address;
+use std::fmt;
+
+/// Kind tag of an instruction fetch.
+const TAG_FETCH: u64 = 0;
+/// Kind tag of a data load.
+const TAG_LOAD: u64 = 1;
+/// Kind tag of a data store.
+const TAG_STORE: u64 = 2;
+/// Kind tag of a compute interval.
+const TAG_COMPUTE: u64 = 3;
+/// Mask selecting the kind tag.
+const TAG_MASK: u64 = 0b11;
+/// Number of payload bits available above the tag.
+const PAYLOAD_BITS: u32 = 62;
+/// Largest encodable payload (addresses and cycle counts).
+pub const MAX_PAYLOAD: u64 = (1 << PAYLOAD_BITS) - 1;
+
+/// Encodes one event into its packed word.
+///
+/// # Panics
+///
+/// Panics if an address exceeds [`MAX_PAYLOAD`] (2⁶² − 1); the modelled
+/// targets use 32-bit physical addresses, so this is never hit in practice.
+fn encode(event: MemEvent) -> u64 {
+    let (payload, tag) = match event {
+        MemEvent::InstrFetch(a) => (a.raw(), TAG_FETCH),
+        MemEvent::Load(a) => (a.raw(), TAG_LOAD),
+        MemEvent::Store(a) => (a.raw(), TAG_STORE),
+        MemEvent::Compute(c) => (c as u64, TAG_COMPUTE),
+    };
+    assert!(
+        payload <= MAX_PAYLOAD,
+        "event payload {payload:#x} exceeds the 62-bit packed-trace range"
+    );
+    (payload << 2) | tag
+}
+
+/// Decodes one packed word back into its event.
+fn decode(word: u64) -> MemEvent {
+    let payload = word >> 2;
+    match word & TAG_MASK {
+        TAG_FETCH => MemEvent::InstrFetch(Address::new(payload)),
+        TAG_LOAD => MemEvent::Load(Address::new(payload)),
+        TAG_STORE => MemEvent::Store(Address::new(payload)),
+        _ => MemEvent::Compute(payload as u32),
+    }
+}
+
+/// A program trace packed to 8 bytes per event.
+///
+/// Functionally equivalent to [`Trace`] — replaying a `PackedTrace`
+/// produces cycle-identical campaigns — at half the memory footprint.
+///
+/// ```
+/// use randmod_sim::packed::PackedTrace;
+/// use randmod_sim::trace::MemEvent;
+/// use randmod_core::Address;
+///
+/// let mut trace = PackedTrace::new();
+/// trace.push(MemEvent::Load(Address::new(0x2000)));
+/// trace.push(MemEvent::Compute(3));
+/// let events: Vec<MemEvent> = trace.iter().collect();
+/// assert_eq!(events[0], MemEvent::Load(Address::new(0x2000)));
+/// assert_eq!(events[1], MemEvent::Compute(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PackedTrace {
+    words: Vec<u64>,
+}
+
+impl PackedTrace {
+    /// Creates an empty packed trace.
+    pub fn new() -> Self {
+        PackedTrace::default()
+    }
+
+    /// Creates an empty packed trace with capacity for `n` events.
+    pub fn with_capacity(n: usize) -> Self {
+        PackedTrace {
+            words: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's address exceeds [`MAX_PAYLOAD`].
+    pub fn push(&mut self, event: MemEvent) {
+        self.words.push(encode(event));
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Bytes of heap memory holding the encoded events (8 per event).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Iterates over the events, decoding on the fly.
+    pub fn iter(&self) -> PackedEvents<'_> {
+        PackedEvents {
+            words: self.words.iter(),
+        }
+    }
+
+    /// Collects the events into a boxed [`Trace`] (compatibility adapter).
+    pub fn to_trace(&self) -> Trace {
+        self.iter().collect()
+    }
+
+    /// Computes summary statistics for a given cache-line size, decoding
+    /// on the fly.
+    pub fn stats(&self, line_size: u32) -> crate::trace::TraceStats {
+        crate::trace::TraceStats::from_events(self.iter(), line_size)
+    }
+}
+
+impl EventSink for PackedTrace {
+    fn emit(&mut self, event: MemEvent) {
+        self.push(event);
+    }
+}
+
+impl EventSource for PackedTrace {
+    fn events(&self) -> impl Iterator<Item = MemEvent> + '_ {
+        self.iter()
+    }
+}
+
+impl Extend<MemEvent> for PackedTrace {
+    fn extend<T: IntoIterator<Item = MemEvent>>(&mut self, iter: T) {
+        self.words.extend(iter.into_iter().map(encode));
+    }
+}
+
+impl FromIterator<MemEvent> for PackedTrace {
+    fn from_iter<T: IntoIterator<Item = MemEvent>>(iter: T) -> Self {
+        PackedTrace {
+            words: iter.into_iter().map(encode).collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PackedTrace {
+    type Item = MemEvent;
+    type IntoIter = PackedEvents<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl From<&Trace> for PackedTrace {
+    fn from(trace: &Trace) -> Self {
+        trace.iter().copied().collect()
+    }
+}
+
+impl fmt::Display for PackedTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} packed events ({} bytes)", self.len(), self.len() * 8)
+    }
+}
+
+/// Decoding iterator over a [`PackedTrace`].
+#[derive(Debug, Clone)]
+pub struct PackedEvents<'a> {
+    words: std::slice::Iter<'a, u64>,
+}
+
+impl Iterator for PackedEvents<'_> {
+    type Item = MemEvent;
+
+    fn next(&mut self) -> Option<MemEvent> {
+        self.words.next().map(|&w| decode(w))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.words.size_hint()
+    }
+}
+
+impl ExactSizeIterator for PackedEvents<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_events() -> Vec<MemEvent> {
+        vec![
+            MemEvent::InstrFetch(Address::new(0x4000_0000)),
+            MemEvent::Load(Address::new(0x4010_0004)),
+            MemEvent::Store(Address::new(0x4020_0008)),
+            MemEvent::Compute(7),
+        ]
+    }
+
+    #[test]
+    fn push_and_decode_round_trip() {
+        let mut packed = PackedTrace::new();
+        for event in sample_events() {
+            packed.push(event);
+        }
+        let decoded: Vec<MemEvent> = packed.iter().collect();
+        assert_eq!(decoded, sample_events());
+        assert_eq!(packed.len(), 4);
+        assert!(!packed.is_empty());
+    }
+
+    #[test]
+    fn eight_bytes_per_event() {
+        let packed: PackedTrace = sample_events().into_iter().collect();
+        assert!(packed.heap_bytes() >= packed.len() * 8);
+        // The display form advertises the payload size, not the capacity.
+        assert_eq!(packed.to_string(), "4 packed events (32 bytes)");
+    }
+
+    #[test]
+    fn from_trace_and_back() {
+        let trace: Trace = sample_events().into_iter().collect();
+        let packed = PackedTrace::from(&trace);
+        assert_eq!(packed.to_trace(), trace);
+        assert_eq!(packed.len(), trace.len());
+    }
+
+    #[test]
+    fn extend_and_collect_match_push() {
+        let mut a = PackedTrace::with_capacity(4);
+        a.extend(sample_events());
+        let b: PackedTrace = sample_events().into_iter().collect();
+        assert_eq!(a, b);
+        let via_ref: Vec<MemEvent> = (&a).into_iter().collect();
+        assert_eq!(via_ref, sample_events());
+    }
+
+    #[test]
+    fn iterator_is_exact_size() {
+        let packed: PackedTrace = sample_events().into_iter().collect();
+        let mut iter = packed.iter();
+        assert_eq!(iter.len(), 4);
+        iter.next();
+        assert_eq!(iter.len(), 3);
+    }
+
+    #[test]
+    fn unaligned_addresses_round_trip() {
+        // The encoding shifts rather than masks, so addresses with nonzero
+        // low bits survive (the builder never emits them, but the sim's own
+        // tests do).
+        let event = MemEvent::Load(Address::new(0x10_0003));
+        let packed: PackedTrace = [event].into_iter().collect();
+        assert_eq!(packed.iter().next(), Some(event));
+    }
+
+    #[test]
+    fn compute_payload_round_trips_at_u32_max() {
+        let event = MemEvent::Compute(u32::MAX);
+        let packed: PackedTrace = [event].into_iter().collect();
+        assert_eq!(packed.iter().next(), Some(event));
+    }
+
+    #[test]
+    #[should_panic(expected = "62-bit packed-trace range")]
+    fn oversized_address_panics() {
+        PackedTrace::new().push(MemEvent::Load(Address::new(1 << 62)));
+    }
+
+    #[test]
+    fn event_sink_parity_with_trace() {
+        let mut packed = PackedTrace::new();
+        let mut boxed = Trace::new();
+        let sink: &mut dyn EventSink = &mut packed;
+        sink.fetch(Address::new(0x1000));
+        sink.load(Address::new(0x2000));
+        sink.store(Address::new(0x3000));
+        sink.compute(5);
+        sink.compute(0); // dropped, as Trace::compute does
+        boxed.fetch(Address::new(0x1000));
+        boxed.load(Address::new(0x2000));
+        boxed.store(Address::new(0x3000));
+        boxed.compute(5);
+        boxed.compute(0);
+        assert_eq!(packed.to_trace(), boxed);
+    }
+
+    /// Strategy: one arbitrary event with a payload inside the packed range.
+    fn event_strategy() -> impl Strategy<Value = MemEvent> {
+        (0u64..4, 0u64..=MAX_PAYLOAD).prop_map(|(kind, payload)| match kind {
+            0 => MemEvent::InstrFetch(Address::new(payload)),
+            1 => MemEvent::Load(Address::new(payload)),
+            2 => MemEvent::Store(Address::new(payload)),
+            _ => MemEvent::Compute((payload & u32::MAX as u64) as u32),
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// events -> PackedTrace -> events is the identity for every kind
+        /// and the full payload range.
+        #[test]
+        fn round_trip_is_lossless(events in prop::collection::vec(event_strategy(), 0..200)) {
+            let packed: PackedTrace = events.iter().copied().collect();
+            prop_assert_eq!(packed.len(), events.len());
+            let decoded: Vec<MemEvent> = packed.iter().collect();
+            prop_assert_eq!(decoded, events);
+        }
+    }
+}

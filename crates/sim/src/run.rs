@@ -4,17 +4,22 @@
 //! times (the paper uses 1,000 runs per benchmark), installing a fresh
 //! placement seed before each run so that every run samples a new random
 //! cache layout.  [`Campaign`] automates this protocol, executing runs in
-//! parallel across threads (each run is independent by construction).
+//! parallel across threads (each run is independent by construction).  The
+//! program is any [`EventSource`] — a boxed [`Trace`], a packed
+//! [`crate::packed::PackedTrace`], or a slice of events — shared read-only
+//! across the worker threads and re-iterated once per run.
 //!
 //! For the deterministic baseline of Figure 4(b), the execution time does
 //! not vary with a seed but with the *memory layout* of the program; the
 //! corresponding protocol, sweeping layouts and recording the high-water
-//! mark, is provided by [`Campaign::run_layout_sweep`].
+//! mark, is provided by [`Campaign::run_layout_sweep_with`] (which builds
+//! one layout's trace at a time, keeping the sweep's memory footprint
+//! constant) and its collecting adapter [`Campaign::run_layout_sweep`].
 
 use crate::config::PlatformConfig;
 use crate::cpu::InOrderCore;
 use crate::hierarchy::HierarchyStats;
-use crate::trace::Trace;
+use crate::trace::{EventSource, Trace};
 use randmod_core::prng::SeedSequence;
 use randmod_core::ConfigError;
 use std::fmt;
@@ -50,7 +55,14 @@ impl CampaignResult {
 
     /// The execution times, in campaign order (the input MBPTA consumes).
     pub fn cycles(&self) -> Vec<u64> {
-        self.runs.iter().map(|r| r.cycles).collect()
+        self.cycles_iter().collect()
+    }
+
+    /// Iterates the execution times in campaign order without allocating
+    /// an intermediate `Vec` (feed it straight into
+    /// `ExecutionSample::from_cycles_iter`).
+    pub fn cycles_iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().map(|r| r.cycles)
     }
 
     /// Number of runs.
@@ -160,17 +172,21 @@ impl Campaign {
         self.runs
     }
 
-    /// Runs the MBPTA measurement protocol: execute `trace` once per run,
+    /// Runs the MBPTA measurement protocol: replay `source` once per run,
     /// with a fresh placement seed installed (and caches flushed) before
-    /// each run.
+    /// each run.  Accepts any [`EventSource`] — `&Trace`, `&PackedTrace`,
+    /// or an event slice.
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the platform configuration is invalid.
-    pub fn run(&self, trace: &Trace) -> Result<CampaignResult, ConfigError> {
+    pub fn run<S>(&self, source: &S) -> Result<CampaignResult, ConfigError>
+    where
+        S: EventSource + ?Sized,
+    {
         self.config.validate()?;
         let seeds: Vec<u64> = SeedSequence::new(self.campaign_seed).take(self.runs).collect();
-        self.run_seeds(trace, &seeds)
+        self.run_seeds_validated(source, &seeds)
     }
 
     /// Runs the program once for every provided seed.
@@ -178,8 +194,20 @@ impl Campaign {
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the platform configuration is invalid.
-    pub fn run_seeds(&self, trace: &Trace, seeds: &[u64]) -> Result<CampaignResult, ConfigError> {
+    pub fn run_seeds<S>(&self, source: &S, seeds: &[u64]) -> Result<CampaignResult, ConfigError>
+    where
+        S: EventSource + ?Sized,
+    {
         self.config.validate()?;
+        self.run_seeds_validated(source, seeds)
+    }
+
+    /// The seed-sweep worker pool; the configuration is already validated
+    /// by the public entry points (exactly once per campaign).
+    fn run_seeds_validated<S>(&self, source: &S, seeds: &[u64]) -> Result<CampaignResult, ConfigError>
+    where
+        S: EventSource + ?Sized,
+    {
         if seeds.is_empty() {
             return Ok(CampaignResult::default());
         }
@@ -195,7 +223,7 @@ impl Campaign {
                         let mut core = InOrderCore::new(&config)?;
                         let mut out = Vec::with_capacity(chunk.len());
                         for &seed in chunk {
-                            let (cycles, stats) = core.execute_isolated(trace, seed);
+                            let (cycles, stats) = core.execute_isolated(source.events(), seed);
                             out.push(RunResult { seed, cycles, stats });
                         }
                         Ok(out)
@@ -211,36 +239,46 @@ impl Campaign {
         Ok(CampaignResult::from_runs(results.into_iter().flatten().collect()))
     }
 
-    /// Runs the deterministic-platform protocol of Figure 4(b): every entry
-    /// of `layouts` is the same program placed differently in memory; each
-    /// is executed once (the layout, not a seed, is what varies).  The
-    /// result's `seed` field records the layout index.
+    /// Runs the deterministic-platform protocol of Figure 4(b) in streaming
+    /// form: `build(i)` produces the trace of the `i`-th memory layout, and
+    /// each worker thread holds at most one layout's trace alive at a time
+    /// — the sweep's memory footprint no longer grows with the number of
+    /// layouts.  The result's `seed` field records the layout index.
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the platform configuration is invalid.
-    pub fn run_layout_sweep(&self, layouts: &[Trace]) -> Result<CampaignResult, ConfigError> {
+    pub fn run_layout_sweep_with<S, F>(
+        &self,
+        layouts: usize,
+        build: F,
+    ) -> Result<CampaignResult, ConfigError>
+    where
+        S: EventSource,
+        F: Fn(usize) -> S + Sync,
+    {
         self.config.validate()?;
-        if layouts.is_empty() {
+        if layouts == 0 {
             return Ok(CampaignResult::default());
         }
-        let threads = self.threads.min(layouts.len()).max(1);
-        let chunk_size = layouts.len().div_ceil(threads);
+        let threads = self.threads.min(layouts).max(1);
+        let chunk_size = layouts.div_ceil(threads);
         let config = self.config;
+        let build = &build;
         let mut results: Vec<Vec<RunResult>> = Vec::new();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = layouts
-                .chunks(chunk_size)
-                .enumerate()
-                .map(|(chunk_index, chunk)| {
+            let handles: Vec<_> = (0..layouts)
+                .step_by(chunk_size)
+                .map(|start| {
+                    let end = (start + chunk_size).min(layouts);
                     scope.spawn(move || -> Result<Vec<RunResult>, ConfigError> {
                         let mut core = InOrderCore::new(&config)?;
-                        let mut out = Vec::with_capacity(chunk.len());
-                        for (offset, layout) in chunk.iter().enumerate() {
-                            let index = (chunk_index * chunk_size + offset) as u64;
-                            let (cycles, stats) = core.execute_isolated(layout, 0);
+                        let mut out = Vec::with_capacity(end - start);
+                        for index in start..end {
+                            let layout_trace = build(index);
+                            let (cycles, stats) = core.execute_isolated(layout_trace.events(), 0);
                             out.push(RunResult {
-                                seed: index,
+                                seed: index as u64,
                                 cycles,
                                 stats,
                             });
@@ -257,11 +295,25 @@ impl Campaign {
         })?;
         Ok(CampaignResult::from_runs(results.into_iter().flatten().collect()))
     }
+
+    /// Collecting adapter for pre-materialised layout sweeps: every entry
+    /// of `layouts` is the same program placed differently in memory; each
+    /// is executed once (the layout, not a seed, is what varies).  Prefer
+    /// [`Self::run_layout_sweep_with`] when the traces can be generated on
+    /// demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the platform configuration is invalid.
+    pub fn run_layout_sweep(&self, layouts: &[Trace]) -> Result<CampaignResult, ConfigError> {
+        self.run_layout_sweep_with(layouts.len(), |i| &layouts[i])
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::MemEvent;
     use randmod_core::{Address, PlacementKind};
 
     fn stress_trace() -> Trace {
@@ -357,6 +409,44 @@ mod tests {
     fn empty_layout_sweep_is_empty() {
         let campaign = Campaign::new(PlatformConfig::leon3_deterministic(), 0);
         assert!(campaign.run_layout_sweep(&[]).unwrap().is_empty());
+        assert!(campaign
+            .run_layout_sweep_with(0, |_| Trace::new())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn streamed_layout_sweep_matches_collected_sweep() {
+        let campaign = Campaign::new(PlatformConfig::leon3_deterministic(), 0).with_threads(3);
+        let base = stress_trace();
+        let layouts: Vec<Trace> = (0..7u64).map(|i| base.with_offsets(i * 64, i * 4096)).collect();
+        let collected = campaign.run_layout_sweep(&layouts).unwrap();
+        let streamed = campaign
+            .run_layout_sweep_with(7, |i| base.with_offsets(i as u64 * 64, i as u64 * 4096))
+            .unwrap();
+        assert_eq!(collected, streamed);
+    }
+
+    #[test]
+    fn packed_replay_matches_boxed_replay() {
+        let campaign = Campaign::new(
+            PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo),
+            10,
+        )
+        .with_campaign_seed(11)
+        .with_threads(2);
+        let trace = stress_trace();
+        let packed = crate::packed::PackedTrace::from(&trace);
+        assert_eq!(campaign.run(&trace).unwrap(), campaign.run(&packed).unwrap());
+    }
+
+    #[test]
+    fn campaign_accepts_event_slices() {
+        let events: Vec<MemEvent> = stress_trace().into_iter().collect();
+        let campaign = Campaign::new(PlatformConfig::leon3(), 4).with_threads(2);
+        let from_slice = campaign.run(&events[..]).unwrap();
+        let from_trace = campaign.run(&stress_trace()).unwrap();
+        assert_eq!(from_slice, from_trace);
     }
 
     #[test]

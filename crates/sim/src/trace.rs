@@ -1,10 +1,20 @@
 //! Memory-access traces.
 //!
-//! Workload generators emit a [`Trace`] — the sequence of instruction
-//! fetches, loads, stores and compute intervals a program performs.  The
-//! same trace is then replayed once per run of the MBPTA campaign (the
-//! program and its inputs do not change across runs; only the placement
-//! seed, and thus the cache layout, does).
+//! Workload generators emit the sequence of instruction fetches, loads,
+//! stores and compute intervals a program performs.  The same trace is then
+//! replayed once per run of the MBPTA campaign (the program and its inputs
+//! do not change across runs; only the placement seed, and thus the cache
+//! layout, does).
+//!
+//! Two abstractions decouple generation from replay:
+//!
+//! * [`EventSink`] — where a generator *writes* events.  Implemented by the
+//!   boxed [`Trace`] (`Vec<MemEvent>`, 16 bytes/event), by the packed
+//!   [`crate::packed::PackedTrace`] (8 bytes/event) and by [`SinkFn`]
+//!   (constant memory — count, summarise or filter without storing).
+//! * [`EventSource`] — where a replay *reads* events.  A source hands out a
+//!   fresh iterator per run, which is what lets one shared trace feed the
+//!   parallel runs of a [`crate::run::Campaign`] without being cloned.
 
 use randmod_core::Address;
 use std::collections::HashSet;
@@ -35,6 +45,112 @@ impl MemEvent {
     /// Whether this is a data access (load or store).
     pub const fn is_data(&self) -> bool {
         matches!(self, MemEvent::Load(_) | MemEvent::Store(_))
+    }
+}
+
+/// A consumer of trace events: the write end of the streaming pipeline.
+///
+/// Workload generators emit into a sink instead of returning a
+/// materialised `Vec`, so the same generator code can fill a boxed
+/// [`Trace`], a packed [`crate::packed::PackedTrace`] or a constant-memory
+/// [`SinkFn`].
+pub trait EventSink {
+    /// Receives one event.
+    fn emit(&mut self, event: MemEvent);
+
+    /// Emits an instruction fetch.
+    fn fetch(&mut self, addr: Address) {
+        self.emit(MemEvent::InstrFetch(addr));
+    }
+
+    /// Emits a data load.
+    fn load(&mut self, addr: Address) {
+        self.emit(MemEvent::Load(addr));
+    }
+
+    /// Emits a data store.
+    fn store(&mut self, addr: Address) {
+        self.emit(MemEvent::Store(addr));
+    }
+
+    /// Emits `cycles` of computation; zero-cycle intervals are dropped.
+    fn compute(&mut self, cycles: u32) {
+        if cycles > 0 {
+            self.emit(MemEvent::Compute(cycles));
+        }
+    }
+}
+
+impl EventSink for Trace {
+    fn emit(&mut self, event: MemEvent) {
+        self.push(event);
+    }
+}
+
+impl EventSink for Vec<MemEvent> {
+    fn emit(&mut self, event: MemEvent) {
+        self.push(event);
+    }
+}
+
+/// Adapts a closure into an [`EventSink`]: the constant-memory end of the
+/// pipeline, for counting, summarising or filtering an emission without
+/// storing it.
+///
+/// ```
+/// use randmod_sim::trace::{EventSink, SinkFn};
+/// use randmod_core::Address;
+///
+/// let mut loads = 0usize;
+/// let mut sink = SinkFn(|event: randmod_sim::MemEvent| {
+///     if event.is_data() {
+///         loads += 1;
+///     }
+/// });
+/// sink.load(Address::new(0x1000));
+/// sink.fetch(Address::new(0x2000));
+/// drop(sink);
+/// assert_eq!(loads, 1);
+/// ```
+pub struct SinkFn<F: FnMut(MemEvent)>(pub F);
+
+impl<F: FnMut(MemEvent)> EventSink for SinkFn<F> {
+    fn emit(&mut self, event: MemEvent) {
+        (self.0)(event);
+    }
+}
+
+/// A replayable stream of trace events: the read end of the pipeline.
+///
+/// A source hands out a *fresh* iterator per call, so one shared trace can
+/// feed every parallel run of a campaign without being cloned or
+/// re-decoded into a `Vec`.
+pub trait EventSource: Sync {
+    /// Iterates one full replay of the trace.
+    fn events(&self) -> impl Iterator<Item = MemEvent> + '_;
+}
+
+impl<S: EventSource + ?Sized> EventSource for &S {
+    fn events(&self) -> impl Iterator<Item = MemEvent> + '_ {
+        (**self).events()
+    }
+}
+
+impl EventSource for Trace {
+    fn events(&self) -> impl Iterator<Item = MemEvent> + '_ {
+        self.iter().copied()
+    }
+}
+
+impl EventSource for [MemEvent] {
+    fn events(&self) -> impl Iterator<Item = MemEvent> + '_ {
+        self.iter().copied()
+    }
+}
+
+impl EventSource for Vec<MemEvent> {
+    fn events(&self) -> impl Iterator<Item = MemEvent> + '_ {
+        self.iter().copied()
     }
 }
 
@@ -133,31 +249,7 @@ impl Trace {
 
     /// Computes summary statistics for a given cache-line size.
     pub fn stats(&self, line_size: u32) -> TraceStats {
-        let shift = line_size.trailing_zeros();
-        let mut instr_lines = HashSet::new();
-        let mut data_lines = HashSet::new();
-        let mut stats = TraceStats::default();
-        for event in &self.events {
-            match *event {
-                MemEvent::InstrFetch(a) => {
-                    stats.instr_fetches += 1;
-                    instr_lines.insert(a.raw() >> shift);
-                }
-                MemEvent::Load(a) => {
-                    stats.loads += 1;
-                    data_lines.insert(a.raw() >> shift);
-                }
-                MemEvent::Store(a) => {
-                    stats.stores += 1;
-                    data_lines.insert(a.raw() >> shift);
-                }
-                MemEvent::Compute(c) => stats.compute_cycles += c as u64,
-            }
-        }
-        stats.unique_instr_lines = instr_lines.len() as u64;
-        stats.unique_data_lines = data_lines.len() as u64;
-        stats.line_size = line_size;
-        stats
+        TraceStats::from_events(self.iter().copied(), line_size)
     }
 }
 
@@ -176,11 +268,11 @@ impl FromIterator<MemEvent> for Trace {
 }
 
 impl<'a> IntoIterator for &'a Trace {
-    type Item = &'a MemEvent;
-    type IntoIter = std::slice::Iter<'a, MemEvent>;
+    type Item = MemEvent;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, MemEvent>>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.events.iter()
+        self.events.iter().copied()
     }
 }
 
@@ -213,6 +305,41 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
+    /// Computes the statistics of any event stream for a given cache-line
+    /// size, in one streaming pass.
+    pub fn from_events<I>(events: I, line_size: u32) -> TraceStats
+    where
+        I: IntoIterator<Item = MemEvent>,
+    {
+        let shift = line_size.trailing_zeros();
+        let mut instr_lines = HashSet::new();
+        let mut data_lines = HashSet::new();
+        let mut stats = TraceStats {
+            line_size,
+            ..TraceStats::default()
+        };
+        for event in events {
+            match event {
+                MemEvent::InstrFetch(a) => {
+                    stats.instr_fetches += 1;
+                    instr_lines.insert(a.raw() >> shift);
+                }
+                MemEvent::Load(a) => {
+                    stats.loads += 1;
+                    data_lines.insert(a.raw() >> shift);
+                }
+                MemEvent::Store(a) => {
+                    stats.stores += 1;
+                    data_lines.insert(a.raw() >> shift);
+                }
+                MemEvent::Compute(c) => stats.compute_cycles += c as u64,
+            }
+        }
+        stats.unique_instr_lines = instr_lines.len() as u64;
+        stats.unique_data_lines = data_lines.len() as u64;
+        stats
+    }
+
     /// Total number of memory accesses.
     pub fn memory_accesses(&self) -> u64 {
         self.instr_fetches + self.loads + self.stores
@@ -326,7 +453,7 @@ mod tests {
         assert_eq!(t.len(), 2);
         t.extend([MemEvent::Store(Address::new(32))]);
         assert_eq!(t.len(), 3);
-        let collected: Vec<MemEvent> = (&t).into_iter().copied().collect();
+        let collected: Vec<MemEvent> = (&t).into_iter().collect();
         assert_eq!(collected.len(), 3);
         let owned: Vec<MemEvent> = t.into_iter().collect();
         assert_eq!(owned.len(), 3);

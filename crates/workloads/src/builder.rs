@@ -2,9 +2,11 @@
 //!
 //! [`KernelBuilder`] emits the access patterns real control software is made
 //! of — straight-line code, loops, strided array sweeps, interpolation-table
-//! lookups, pointer chasing, stack frames — into a [`Trace`].  The EEMBC-like
-//! kernels of [`crate::eembc`] and the synthetic kernel of
-//! [`crate::synthetic`] are thin compositions of these patterns.
+//! lookups, pointer chasing, stack frames — into any [`EventSink`]: a boxed
+//! [`randmod_sim::Trace`], a packed [`randmod_sim::PackedTrace`] or a
+//! constant-memory counting sink.  The EEMBC-like kernels of
+//! [`crate::eembc`] and the synthetic kernel of [`crate::synthetic`] are
+//! thin compositions of these patterns.
 //!
 //! All "random" choices inside a kernel (table indices, pointer-chase
 //! permutations) are drawn from a [`SplitMix64`] stream seeded per kernel, so
@@ -15,40 +17,44 @@
 use crate::layout::MemoryLayout;
 use randmod_core::prng::SplitMix64;
 use randmod_core::Address;
-use randmod_sim::Trace;
+use randmod_sim::trace::EventSink;
+use randmod_sim::MemEvent;
 
 /// Word size of the modelled 32-bit target, in bytes.
 const WORD: u64 = 4;
 
-/// Builds a kernel trace from composable access patterns.
+/// Builds a kernel's event stream from composable access patterns,
+/// emitting into a borrowed [`EventSink`].
 ///
 /// ```
 /// use randmod_workloads::{KernelBuilder, MemoryLayout};
+/// use randmod_sim::Trace;
 ///
-/// let mut builder = KernelBuilder::new(MemoryLayout::default(), 1);
+/// let mut trace = Trace::new();
+/// let mut builder = KernelBuilder::new(MemoryLayout::default(), 1, &mut trace);
 /// builder.straight_code(8);
 /// builder.sequential_loads(0, 256, 4);
-/// let trace = builder.finish();
 /// assert!(trace.len() >= 8 + 64);
 /// ```
-#[derive(Debug, Clone)]
-pub struct KernelBuilder {
+pub struct KernelBuilder<'a> {
     layout: MemoryLayout,
-    trace: Trace,
+    sink: &'a mut dyn EventSink,
     /// Current instruction pointer, as an offset into the code region.
     code_cursor: u64,
     rng: SplitMix64,
+    emitted: usize,
 }
 
-impl KernelBuilder {
-    /// Creates a builder for the given layout; `kernel_seed` fixes the
-    /// kernel's internal (input-dependent) choices.
-    pub fn new(layout: MemoryLayout, kernel_seed: u64) -> Self {
+impl<'a> KernelBuilder<'a> {
+    /// Creates a builder emitting into `sink` for the given layout;
+    /// `kernel_seed` fixes the kernel's internal (input-dependent) choices.
+    pub fn new(layout: MemoryLayout, kernel_seed: u64, sink: &'a mut dyn EventSink) -> Self {
         KernelBuilder {
             layout,
-            trace: Trace::new(),
+            sink,
             code_cursor: 0,
             rng: SplitMix64::new(kernel_seed),
+            emitted: 0,
         }
     }
 
@@ -57,19 +63,19 @@ impl KernelBuilder {
         self.layout
     }
 
-    /// Consumes the builder and returns the trace.
-    pub fn finish(self) -> Trace {
-        self.trace
-    }
-
     /// Number of events emitted so far.
     pub fn len(&self) -> usize {
-        self.trace.len()
+        self.emitted
     }
 
     /// Whether nothing has been emitted yet.
     pub fn is_empty(&self) -> bool {
-        self.trace.is_empty()
+        self.emitted == 0
+    }
+
+    fn emit(&mut self, event: MemEvent) {
+        self.sink.emit(event);
+        self.emitted += 1;
     }
 
     fn code_addr(&self, offset: u64) -> Address {
@@ -89,7 +95,7 @@ impl KernelBuilder {
     pub fn straight_code(&mut self, instructions: u64) {
         for _ in 0..instructions {
             let addr = self.code_addr(self.code_cursor);
-            self.trace.fetch(addr);
+            self.emit(MemEvent::InstrFetch(addr));
             self.code_cursor += WORD;
         }
     }
@@ -106,7 +112,7 @@ impl KernelBuilder {
             self.code_cursor = loop_start;
             for _ in 0..body_instructions {
                 let addr = self.code_addr(self.code_cursor);
-                self.trace.fetch(addr);
+                self.emit(MemEvent::InstrFetch(addr));
                 self.code_cursor += WORD;
             }
             body(self, iteration);
@@ -118,7 +124,7 @@ impl KernelBuilder {
     pub fn sequential_loads(&mut self, offset: u64, count: u64, stride: u64) {
         for i in 0..count {
             let addr = self.data_addr(offset + i * stride);
-            self.trace.load(addr);
+            self.emit(MemEvent::Load(addr));
         }
     }
 
@@ -127,7 +133,7 @@ impl KernelBuilder {
     pub fn sequential_stores(&mut self, offset: u64, count: u64, stride: u64) {
         for i in 0..count {
             let addr = self.data_addr(offset + i * stride);
-            self.trace.store(addr);
+            self.emit(MemEvent::Store(addr));
         }
     }
 
@@ -139,7 +145,7 @@ impl KernelBuilder {
         for _ in 0..lookups {
             let entry = self.rng.next_u64() % entries;
             let addr = self.data_addr(table_offset + entry * WORD);
-            self.trace.load(addr);
+            self.emit(MemEvent::Load(addr));
         }
     }
 
@@ -158,7 +164,7 @@ impl KernelBuilder {
         for position in 0..steps {
             let node = order[(position % order.len() as u64) as usize];
             let addr = self.data_addr(offset + node * node_bytes);
-            self.trace.load(addr);
+            self.emit(MemEvent::Load(addr));
         }
     }
 
@@ -168,16 +174,20 @@ impl KernelBuilder {
     pub fn stack_frame(&mut self, depth: u64, words: u64) {
         let frame = depth * 64;
         for w in 0..words {
-            self.trace.store(self.stack_addr(frame + w * WORD));
+            let addr = self.stack_addr(frame + w * WORD);
+            self.emit(MemEvent::Store(addr));
         }
         for w in 0..words {
-            self.trace.load(self.stack_addr(frame + w * WORD));
+            let addr = self.stack_addr(frame + w * WORD);
+            self.emit(MemEvent::Load(addr));
         }
     }
 
     /// Emits `cycles` of pure computation.
     pub fn compute(&mut self, cycles: u32) {
-        self.trace.compute(cycles);
+        if cycles > 0 {
+            self.emit(MemEvent::Compute(cycles));
+        }
     }
 
     /// Emits a row-major sweep over a `rows x cols` matrix of 4-byte
@@ -186,7 +196,7 @@ impl KernelBuilder {
         for r in 0..rows {
             for c in 0..cols {
                 let addr = self.data_addr(offset + (r * cols + c) * WORD);
-                self.trace.load(addr);
+                self.emit(MemEvent::Load(addr));
             }
         }
     }
@@ -198,7 +208,7 @@ impl KernelBuilder {
         for c in 0..cols {
             for r in 0..rows {
                 let addr = self.data_addr(offset + (r * cols + c) * WORD);
-                self.trace.store(addr);
+                self.emit(MemEvent::Store(addr));
             }
         }
     }
@@ -207,17 +217,18 @@ impl KernelBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use randmod_sim::MemEvent;
+    use randmod_sim::{MemEvent, Trace};
 
-    fn builder() -> KernelBuilder {
-        KernelBuilder::new(MemoryLayout::default(), 42)
+    fn build(f: impl FnOnce(&mut KernelBuilder<'_>)) -> Trace {
+        let mut trace = Trace::new();
+        let mut b = KernelBuilder::new(MemoryLayout::default(), 42, &mut trace);
+        f(&mut b);
+        trace
     }
 
     #[test]
     fn straight_code_emits_sequential_fetches() {
-        let mut b = builder();
-        b.straight_code(4);
-        let trace = b.finish();
+        let trace = build(|b| b.straight_code(4));
         let addrs: Vec<u64> = trace
             .iter()
             .filter_map(|e| e.address())
@@ -230,9 +241,7 @@ mod tests {
 
     #[test]
     fn loop_with_refetches_the_body() {
-        let mut b = builder();
-        b.loop_with(3, 5, |b, _| b.compute(1));
-        let trace = b.finish();
+        let trace = build(|b| b.loop_with(3, 5, |b, _| b.compute(1)));
         let stats = trace.stats(32);
         assert_eq!(stats.instr_fetches, 15);
         assert_eq!(stats.compute_cycles, 5);
@@ -243,17 +252,16 @@ mod tests {
     #[test]
     fn loop_body_receives_iteration_index() {
         let mut seen = Vec::new();
-        let mut b = builder();
-        b.loop_with(1, 4, |_, i| seen.push(i));
+        build(|b| b.loop_with(1, 4, |_, i| seen.push(i)));
         assert_eq!(seen, vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn sequential_loads_and_stores_cover_requested_range() {
-        let mut b = builder();
-        b.sequential_loads(0, 16, 32);
-        b.sequential_stores(1024, 4, 8);
-        let trace = b.finish();
+        let trace = build(|b| {
+            b.sequential_loads(0, 16, 32);
+            b.sequential_stores(1024, 4, 8);
+        });
         let stats = trace.stats(32);
         assert_eq!(stats.loads, 16);
         assert_eq!(stats.stores, 4);
@@ -262,11 +270,9 @@ mod tests {
 
     #[test]
     fn table_lookups_stay_inside_the_table() {
-        let mut b = builder();
         let table_offset = 4096;
         let table_bytes = 1024;
-        b.table_lookups(table_offset, table_bytes, 500);
-        let trace = b.finish();
+        let trace = build(|b| b.table_lookups(table_offset, table_bytes, 500));
         for event in &trace {
             if let MemEvent::Load(addr) = event {
                 let delta = addr.raw() - MemoryLayout::default().data_base.raw();
@@ -278,18 +284,16 @@ mod tests {
 
     #[test]
     fn table_lookups_are_deterministic_per_seed() {
-        let mut a = KernelBuilder::new(MemoryLayout::default(), 7);
-        let mut b = KernelBuilder::new(MemoryLayout::default(), 7);
-        a.table_lookups(0, 2048, 100);
-        b.table_lookups(0, 2048, 100);
-        assert_eq!(a.finish(), b.finish());
+        let mut a = Trace::new();
+        let mut b = Trace::new();
+        KernelBuilder::new(MemoryLayout::default(), 7, &mut a).table_lookups(0, 2048, 100);
+        KernelBuilder::new(MemoryLayout::default(), 7, &mut b).table_lookups(0, 2048, 100);
+        assert_eq!(a, b);
     }
 
     #[test]
     fn pointer_chase_visits_all_nodes_once_per_round() {
-        let mut b = builder();
-        b.pointer_chase(0, 16, 64, 16);
-        let trace = b.finish();
+        let trace = build(|b| b.pointer_chase(0, 16, 64, 16));
         let unique: std::collections::HashSet<u64> = trace
             .iter()
             .filter_map(|e| e.address())
@@ -300,9 +304,7 @@ mod tests {
 
     #[test]
     fn stack_frame_stores_then_loads() {
-        let mut b = builder();
-        b.stack_frame(2, 4);
-        let trace = b.finish();
+        let trace = build(|b| b.stack_frame(2, 4));
         let stats = trace.stats(32);
         assert_eq!(stats.stores, 4);
         assert_eq!(stats.loads, 4);
@@ -312,10 +314,10 @@ mod tests {
 
     #[test]
     fn matrix_sweeps_touch_every_element() {
-        let mut b = builder();
-        b.matrix_row_major(0, 8, 16);
-        b.matrix_col_major_store(0, 8, 16);
-        let trace = b.finish();
+        let trace = build(|b| {
+            b.matrix_row_major(0, 8, 16);
+            b.matrix_col_major_store(0, 8, 16);
+        });
         let stats = trace.stats(32);
         assert_eq!(stats.loads, 128);
         assert_eq!(stats.stores, 128);
@@ -324,20 +326,41 @@ mod tests {
 
     #[test]
     fn builder_len_and_layout_accessors() {
-        let mut b = builder();
+        let mut trace = Trace::new();
+        let mut b = KernelBuilder::new(MemoryLayout::default(), 42, &mut trace);
         assert!(b.is_empty());
         b.compute(1);
+        assert_eq!(b.len(), 1);
+        b.compute(0); // dropped: does not count as an emitted event
         assert_eq!(b.len(), 1);
         assert_eq!(b.layout(), MemoryLayout::default());
     }
 
     #[test]
+    fn packed_and_boxed_sinks_receive_identical_streams() {
+        let emit = |b: &mut KernelBuilder<'_>| {
+            b.straight_code(16);
+            b.loop_with(4, 8, |b, i| {
+                b.table_lookups(0, 2048, 4);
+                b.stack_frame(i % 2, 4);
+                b.compute(3);
+            });
+        };
+        let mut boxed = Trace::new();
+        emit(&mut KernelBuilder::new(MemoryLayout::default(), 5, &mut boxed));
+        let mut packed = randmod_sim::PackedTrace::new();
+        emit(&mut KernelBuilder::new(MemoryLayout::default(), 5, &mut packed));
+        assert_eq!(packed.to_trace(), boxed);
+    }
+
+    #[test]
     fn traces_differ_across_layouts_but_not_across_identical_builders() {
         let make = |layout: MemoryLayout| {
-            let mut b = KernelBuilder::new(layout, 3);
+            let mut trace = Trace::new();
+            let mut b = KernelBuilder::new(layout, 3, &mut trace);
             b.straight_code(16);
             b.sequential_loads(0, 32, 16);
-            b.finish()
+            trace
         };
         let base = make(MemoryLayout::default());
         let same = make(MemoryLayout::default());

@@ -14,7 +14,7 @@
 use crate::builder::KernelBuilder;
 use crate::layout::MemoryLayout;
 use crate::Workload;
-use randmod_sim::Trace;
+use randmod_sim::trace::EventSink;
 use std::fmt;
 use std::str::FromStr;
 
@@ -127,8 +127,8 @@ impl Workload for EembcBenchmark {
         self.label().to_string()
     }
 
-    fn trace(&self, layout: &MemoryLayout) -> Trace {
-        let mut b = KernelBuilder::new(*layout, self.kernel_seed());
+    fn emit(&self, layout: &MemoryLayout, sink: &mut dyn EventSink) {
+        let mut b = KernelBuilder::new(*layout, self.kernel_seed(), sink);
         match self {
             // Angle-to-time conversion: a large control loop (the EEMBC
             // kernel plus its test harness) reading sensor variables,
@@ -258,7 +258,93 @@ impl Workload for EembcBenchmark {
                 });
             }
         }
-        b.finish()
+    }
+}
+
+/// An L2-partition-sized stress variant of the EEMBC cacheb access pattern:
+/// windowed line-stride sweeps, whole-buffer table lookups and stack
+/// traffic over a data buffer sized to the 128KB L2 partition — the
+/// footprint regime the eleven Table-2 kernels (all L1-scale) never reach.
+///
+/// ```
+/// use randmod_workloads::{EembcStress, MemoryLayout, Workload};
+///
+/// let stress = EembcStress::l2_sized();
+/// let stats = stress.trace(&MemoryLayout::default()).stats(32);
+/// assert!(stats.data_footprint_bytes() >= 128 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EembcStress {
+    data_bytes: u64,
+    passes: u64,
+}
+
+impl EembcStress {
+    /// Size of one sweep window in bytes (a cache way of the L1).
+    const WINDOW_BYTES: u64 = 4096;
+
+    /// The L2-partition-sized variant: a 128KB buffer, enough passes to
+    /// sweep it end to end twice.
+    pub fn l2_sized() -> Self {
+        Self::with_passes(128 * 1024, 64)
+    }
+
+    /// Creates a stress kernel over a `data_bytes` buffer with an explicit
+    /// pass count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is smaller than one 4KB sweep window or the
+    /// pass count is zero.
+    pub fn with_passes(data_bytes: u64, passes: u64) -> Self {
+        assert!(
+            data_bytes >= Self::WINDOW_BYTES,
+            "the stress buffer must cover at least one 4KB window"
+        );
+        assert!(passes > 0, "the stress kernel must make at least one pass");
+        EembcStress { data_bytes, passes }
+    }
+
+    /// The data buffer size in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// The number of passes over the buffer.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+}
+
+impl fmt::Display for EembcStress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EEMBC-like stress kernel: {}KB buffer, {} passes",
+            self.data_bytes / 1024,
+            self.passes
+        )
+    }
+}
+
+impl Workload for EembcStress {
+    fn name(&self) -> String {
+        format!("eembc-stress-{}kb", self.data_bytes / 1024)
+    }
+
+    fn emit(&self, layout: &MemoryLayout, sink: &mut dyn EventSink) {
+        let mut b = KernelBuilder::new(*layout, 0xCB00 ^ self.data_bytes, sink);
+        let windows = self.data_bytes / Self::WINDOW_BYTES;
+        let lines_per_window = Self::WINDOW_BYTES / 32;
+        b.straight_code(384);
+        b.loop_with(900, self.passes, |b, i| {
+            let window = (i % windows) * Self::WINDOW_BYTES;
+            b.sequential_loads(window, lines_per_window, 32); // line-stride sweep
+            b.table_lookups(0, self.data_bytes, 8); // whole-buffer lookups
+            b.sequential_stores(window + 16, 16, 32);
+            b.stack_frame(1 + i % 3, 8);
+            b.compute(12);
+        });
     }
 }
 
@@ -349,6 +435,41 @@ mod tests {
             base.stats(32).memory_accesses(),
             moved.stats(32).memory_accesses()
         );
+    }
+
+    #[test]
+    fn stress_variant_reaches_the_l2_partition_footprint() {
+        let stress = EembcStress::l2_sized();
+        let stats = stress.trace(&MemoryLayout::default()).stats(32);
+        assert!(
+            stats.data_footprint_bytes() >= 128 * 1024,
+            "stress footprint {} below the 128KB L2 partition",
+            stats.data_footprint_bytes()
+        );
+        assert!(stats.instr_fetches > 0 && stats.stores > 0);
+        assert_eq!(stress.name(), "eembc-stress-128kb");
+        assert!(stress.to_string().contains("128KB buffer"));
+        assert_eq!(stress.data_bytes(), 128 * 1024);
+        assert_eq!(stress.passes(), 64);
+    }
+
+    #[test]
+    fn stress_variant_streams_identically_into_packed_and_boxed_sinks() {
+        let stress = EembcStress::with_passes(8 * 1024, 6);
+        let layout = MemoryLayout::default();
+        assert_eq!(stress.packed_trace(&layout).to_trace(), stress.trace(&layout));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one 4KB window")]
+    fn tiny_stress_buffer_panics() {
+        EembcStress::with_passes(1024, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_stress_passes_panics() {
+        EembcStress::with_passes(8 * 1024, 0);
     }
 
     #[test]

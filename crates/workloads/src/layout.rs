@@ -102,20 +102,27 @@ impl LayoutSweep {
         self.layouts == 0
     }
 
+    /// The `index`-th layout of the sweep — random access, so streaming
+    /// consumers can generate one layout's trace at a time (and drop it)
+    /// instead of collecting the whole family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn layout(&self, index: usize) -> MemoryLayout {
+        assert!(index < self.layouts, "layout index {index} out of range");
+        let i = index as u64;
+        // Move code by whole lines, data by a mix of line- and
+        // page-granularity steps so both intra-way and cross-way
+        // alignments are explored.
+        let code_offset = (i % 16) * self.line_size + (i / 16) * self.page_size;
+        let data_offset = i * self.line_size * 3 + (i % 8) * self.page_size;
+        MemoryLayout::default().with_offsets(code_offset, data_offset)
+    }
+
     /// Iterates over the layouts of the sweep.
     pub fn iter(&self) -> impl Iterator<Item = MemoryLayout> + '_ {
-        let base = MemoryLayout::default();
-        let line = self.line_size;
-        let page = self.page_size;
-        (0..self.layouts).map(move |i| {
-            let i = i as u64;
-            // Move code by whole lines, data by a mix of line- and
-            // page-granularity steps so both intra-way and cross-way
-            // alignments are explored.
-            let code_offset = (i % 16) * line + (i / 16) * page;
-            let data_offset = i * line * 3 + (i % 8) * page;
-            base.with_offsets(code_offset, data_offset)
-        })
+        (0..self.layouts).map(move |i| self.layout(i))
     }
 }
 
@@ -154,6 +161,20 @@ mod tests {
         let sweep = LayoutSweep::new(0);
         assert!(sweep.is_empty());
         assert_eq!(sweep.iter().count(), 0);
+    }
+
+    #[test]
+    fn indexed_access_matches_iteration_order() {
+        let sweep = LayoutSweep::new(12);
+        for (i, layout) in sweep.iter().enumerate() {
+            assert_eq!(sweep.layout(i), layout);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexed_access_out_of_range_panics() {
+        LayoutSweep::new(4).layout(4);
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! * [`builder`] — [`builder::KernelBuilder`], a small toolbox of access
 //!   patterns (sequential code, strided loads, table lookups, pointer
 //!   chases, stack frames) used to assemble kernels.
-//! * [`eembc`] — the eleven EEMBC-AutoBench-like kernels of Table 2.
+//! * [`eembc`] — the eleven EEMBC-AutoBench-like kernels of Table 2, plus
+//!   the L2-partition-sized [`eembc::EembcStress`] variant.
 //! * [`synthetic`] — the vector-traversal kernel of Figure 5 with 8KB,
-//!   20KB and 160KB footprints.
+//!   20KB and 160KB footprints, extended with 1MB and 4MB variants beyond
+//!   the paper's operating point.
 //!
 //! ## Quick example
 //!
@@ -38,19 +40,43 @@ pub mod layout;
 pub mod synthetic;
 
 pub use builder::KernelBuilder;
-pub use eembc::EembcBenchmark;
+pub use eembc::{EembcBenchmark, EembcStress};
 pub use layout::{LayoutSweep, MemoryLayout};
 pub use synthetic::SyntheticKernel;
 
-use randmod_sim::Trace;
+use randmod_sim::trace::EventSink;
+use randmod_sim::{PackedTrace, Trace};
 
-/// A workload that can be rendered into a memory-access trace for a given
-/// memory layout.
+/// A workload that can render the memory-access stream of one end-to-end
+/// execution ("run to completion") for a given memory layout.
+///
+/// Generation is *streaming*: [`Workload::emit`] writes events into any
+/// [`EventSink`], so consumers choose the representation — the packed
+/// 8-byte-per-event [`PackedTrace`] for replay campaigns
+/// ([`Workload::packed_trace`]), the boxed [`Trace`] for inspection
+/// ([`Workload::trace`]), or a constant-memory sink for counting — without
+/// the generator ever holding a materialised copy.
 pub trait Workload {
     /// Human-readable name of the workload.
     fn name(&self) -> String;
 
-    /// Generates the trace of one end-to-end execution ("run to
-    /// completion") under the given memory layout.
-    fn trace(&self, layout: &MemoryLayout) -> Trace;
+    /// Emits the events of one end-to-end execution under the given memory
+    /// layout into `sink`, in program order.
+    fn emit(&self, layout: &MemoryLayout, sink: &mut dyn EventSink);
+
+    /// Collects the emission into a boxed [`Trace`] (16 bytes/event) —
+    /// the compatibility adapter over [`Workload::emit`].
+    fn trace(&self, layout: &MemoryLayout) -> Trace {
+        let mut trace = Trace::new();
+        self.emit(layout, &mut trace);
+        trace
+    }
+
+    /// Collects the emission into a [`PackedTrace`] (8 bytes/event), the
+    /// representation replay campaigns should use.
+    fn packed_trace(&self, layout: &MemoryLayout) -> PackedTrace {
+        let mut packed = PackedTrace::new();
+        self.emit(layout, &mut packed);
+        packed
+    }
 }

@@ -1,0 +1,77 @@
+//! Packed-replay equivalence: for every kernel of the suite, replaying the
+//! 8-byte [`PackedTrace`] emission must produce campaigns cycle-identical
+//! to replaying the boxed `Vec<MemEvent>` trace — the property that lets
+//! every consumer switch to the packed representation without touching
+//! recorded results.
+
+use randmod_core::PlacementKind;
+use randmod_sim::{Campaign, PackedTrace, PlatformConfig};
+use randmod_workloads::{EembcBenchmark, EembcStress, MemoryLayout, SyntheticKernel, Workload};
+
+fn campaign() -> Campaign {
+    Campaign::new(
+        PlatformConfig::leon3()
+            .with_l1_placement(PlacementKind::RandomModulo)
+            .with_l2_placement(PlacementKind::HashRandom),
+        3,
+    )
+    .with_campaign_seed(0xEC)
+    .with_threads(2)
+}
+
+fn assert_equivalent(workload: &dyn Workload) {
+    let layout = MemoryLayout::default();
+    let boxed = workload.trace(&layout);
+    let packed = workload.packed_trace(&layout);
+    // The emissions decode to the same event stream...
+    assert_eq!(
+        packed.to_trace(),
+        boxed,
+        "{}: packed emission diverges from boxed emission",
+        workload.name()
+    );
+    // ...and replaying them produces cycle-identical campaigns.
+    let campaign = campaign();
+    let from_boxed = campaign.run(&boxed).expect("valid platform");
+    let from_packed = campaign.run(&packed).expect("valid platform");
+    assert_eq!(
+        from_boxed,
+        from_packed,
+        "{}: packed replay is not cycle-identical to boxed replay",
+        workload.name()
+    );
+}
+
+#[test]
+fn every_eembc_kernel_replays_identically_from_packed_traces() {
+    for benchmark in EembcBenchmark::ALL {
+        assert_equivalent(&benchmark);
+    }
+}
+
+#[test]
+fn synthetic_kernels_replay_identically_from_packed_traces() {
+    for footprint in [8 * 1024, 20 * 1024, 160 * 1024] {
+        assert_equivalent(&SyntheticKernel::with_traversals(footprint, 3));
+    }
+}
+
+#[test]
+fn stress_kernel_replays_identically_from_packed_traces() {
+    assert_equivalent(&EembcStress::with_passes(64 * 1024, 20));
+}
+
+#[test]
+fn packed_traces_halve_the_replay_memory() {
+    let layout = MemoryLayout::default();
+    let boxed = EembcBenchmark::A2time.trace(&layout);
+    let packed = EembcBenchmark::A2time.packed_trace(&layout);
+    let boxed_bytes = boxed.len() * std::mem::size_of::<randmod_sim::MemEvent>();
+    assert_eq!(
+        packed.len() * 8,
+        boxed_bytes / 2,
+        "packed encoding should use exactly half the boxed event bytes"
+    );
+    // And the packed form survives a round-trip through `From<&Trace>`.
+    assert_eq!(PackedTrace::from(&boxed), packed);
+}

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for kernel in SyntheticKernel::paper_variants() {
-        let trace = kernel.trace(&MemoryLayout::default());
+        let trace = kernel.packed_trace(&MemoryLayout::default());
         for placement in [
             PlacementKind::Modulo,
             PlacementKind::HashRandom,
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_l1_placement(placement)
                 .with_l2_placement(PlacementKind::HashRandom);
             let result = Campaign::new(platform, runs).with_campaign_seed(7).run(&trace)?;
-            let sample = ExecutionSample::from_cycles(&result.cycles());
+            let sample = ExecutionSample::from_cycles_iter(result.cycles_iter());
             println!(
                 "{:<22} {:<14} {:>14} {:>14.0} {:>14}",
                 kernel.name(),

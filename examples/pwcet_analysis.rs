@@ -18,12 +18,12 @@ fn measure(
     placement: PlacementKind,
     runs: usize,
 ) -> Result<ExecutionSample, Box<dyn std::error::Error>> {
-    let trace = benchmark.trace(&MemoryLayout::default());
+    let trace = benchmark.packed_trace(&MemoryLayout::default());
     let platform = PlatformConfig::leon3()
         .with_l1_placement(placement)
         .with_l2_placement(PlacementKind::HashRandom);
     let result = Campaign::new(platform, runs).with_campaign_seed(0xFEED).run(&trace)?;
-    Ok(ExecutionSample::from_cycles(&result.cycles()))
+    Ok(ExecutionSample::from_cycles_iter(result.cycles_iter()))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

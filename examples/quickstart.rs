@@ -13,10 +13,11 @@ use randmod::sim::{Campaign, PlatformConfig};
 use randmod::workloads::{EembcBenchmark, MemoryLayout, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Pick a workload: the EEMBC-like a2time kernel.
+    // 1. Pick a workload: the EEMBC-like a2time kernel, streamed into the
+    //    packed 8-byte-per-event replay representation.
     let benchmark = EembcBenchmark::A2time;
-    let trace = benchmark.trace(&MemoryLayout::default());
-    println!("workload: {} ({} trace events)", benchmark, trace.len());
+    let trace = benchmark.packed_trace(&MemoryLayout::default());
+    println!("workload: {} ({} trace events, {})", benchmark, trace.len(), trace);
 
     // 2. Describe the platform: a LEON3-like core with Random Modulo in the
     //    first-level caches and hash-based random placement in the L2.
@@ -31,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("campaign: {result}");
 
     // 4. Apply MBPTA: i.i.d. tests, Gumbel fit, pWCET projection.
-    let sample = ExecutionSample::from_cycles(&result.cycles());
+    let sample = ExecutionSample::from_cycles_iter(result.cycles_iter());
     let report = MbptaAnalysis::new(MbptaConfig::default()).analyze(&sample);
     println!("{report}");
     println!(

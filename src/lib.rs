@@ -30,11 +30,13 @@
 //! # fn main() -> Result<(), randmod::core::ConfigError> {
 //! // Measure the 8KB synthetic kernel on a LEON3-like platform with
 //! // Random Modulo first-level caches, 50 runs with a fresh seed each.
+//! // The kernel streams into the packed 8-byte-per-event representation,
+//! // which the campaign replays without ever boxing a `Vec<MemEvent>`.
 //! let kernel = SyntheticKernel::with_traversals(8 * 1024, 5);
-//! let trace = kernel.trace(&MemoryLayout::default());
+//! let trace = kernel.packed_trace(&MemoryLayout::default());
 //! let platform = PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo);
 //! let result = Campaign::new(platform, 50).run(&trace)?;
-//! let sample = ExecutionSample::from_cycles(&result.cycles());
+//! let sample = ExecutionSample::from_cycles_iter(result.cycles_iter());
 //! assert_eq!(sample.len(), 50);
 //! # Ok(())
 //! # }

@@ -6,12 +6,10 @@ use randmod::mbpta::{ExecutionSample, MbptaAnalysis, MbptaConfig};
 use randmod::sim::{Campaign, PlatformConfig};
 use randmod::workloads::{EembcBenchmark, LayoutSweep, MemoryLayout, SyntheticKernel, Workload};
 
-fn measure(
-    trace: &randmod::sim::Trace,
-    placement: PlacementKind,
-    runs: usize,
-    seed: u64,
-) -> ExecutionSample {
+fn measure<S>(trace: &S, placement: PlacementKind, runs: usize, seed: u64) -> ExecutionSample
+where
+    S: randmod::sim::trace::EventSource + ?Sized,
+{
     let platform = PlatformConfig::leon3()
         .with_l1_placement(placement)
         .with_l2_placement(PlacementKind::HashRandom);
@@ -19,12 +17,12 @@ fn measure(
         .with_campaign_seed(seed)
         .run(trace)
         .expect("valid platform");
-    ExecutionSample::from_cycles(&result.cycles())
+    ExecutionSample::from_cycles_iter(result.cycles_iter())
 }
 
 #[test]
 fn rm_execution_times_pass_the_iid_tests_for_an_eembc_kernel() {
-    let trace = EembcBenchmark::Canrdr.trace(&MemoryLayout::default());
+    let trace = EembcBenchmark::Canrdr.packed_trace(&MemoryLayout::default());
     let sample = measure(&trace, PlacementKind::RandomModulo, 200, 0xAB);
     let config = MbptaConfig::default().with_block_size(10).with_minimum_runs(100);
     let report = MbptaAnalysis::new(config).analyze(&sample);
@@ -38,7 +36,7 @@ fn rm_pwcet_is_tighter_than_hrp_for_the_synthetic_20kb_kernel() {
     // between the L1 and L2 sizes, hRP's layouts occasionally pile many
     // lines into few sets, inflating both the spread and the pWCET.
     let kernel = SyntheticKernel::with_traversals(20 * 1024, 10);
-    let trace = kernel.trace(&MemoryLayout::default());
+    let trace = kernel.packed_trace(&MemoryLayout::default());
     let rm = measure(&trace, PlacementKind::RandomModulo, 150, 0x20);
     let hrp = measure(&trace, PlacementKind::HashRandom, 150, 0x20);
     let config = MbptaConfig::default().with_minimum_runs(100);
@@ -118,13 +116,14 @@ fn deterministic_platform_varies_with_memory_layout_but_not_with_seed() {
 
     // An EEMBC-like kernel whose footprint fits in the caches, on the other
     // hand, is insensitive to where the linker puts it — the regime where
-    // deterministic placement is unproblematic.
-    let benchmark_layouts: Vec<randmod::sim::Trace> = LayoutSweep::new(4)
-        .iter()
-        .map(|layout| EembcBenchmark::Tblook.trace(&layout))
-        .collect();
+    // deterministic placement is unproblematic.  The sweep is streamed:
+    // each layout's packed trace is generated on demand and dropped after
+    // its run, never collected into a Vec<Trace>.
+    let sweep_layouts = LayoutSweep::new(4);
     let benchmark_sweep = campaign
-        .run_layout_sweep(&benchmark_layouts)
+        .run_layout_sweep_with(sweep_layouts.len(), |i| {
+            EembcBenchmark::Tblook.packed_trace(&sweep_layouts.layout(i))
+        })
         .expect("valid platform");
     assert!(benchmark_sweep.max_cycles() > 0);
 }
@@ -155,7 +154,10 @@ fn reducing_cache_pressure_reduces_execution_time() {
 #[test]
 fn experiment_helpers_are_usable_from_the_facade() {
     // The experiments crate drives the same public APIs users see.
-    let row = randmod_experiments::table2::row_for(EembcBenchmark::Rspeed, 120, 1)
+    let options = randmod_experiments::cli::ExperimentOptions::default()
+        .with_runs(120)
+        .with_campaign_seed(1);
+    let row = randmod_experiments::table2::row_for(EembcBenchmark::Rspeed, &options)
         .expect("valid platform");
     assert_eq!(row.runs, 120);
     assert!(row.ww_statistic.is_finite());

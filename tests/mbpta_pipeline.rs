@@ -8,7 +8,7 @@ use randmod::workloads::{MemoryLayout, SyntheticKernel, Workload};
 
 fn sample_for(placement: PlacementKind, runs: usize) -> ExecutionSample {
     let kernel = SyntheticKernel::with_traversals(20 * 1024, 8);
-    let trace = kernel.trace(&MemoryLayout::default());
+    let trace = kernel.packed_trace(&MemoryLayout::default());
     let platform = PlatformConfig::leon3()
         .with_l1_placement(placement)
         .with_l2_placement(PlacementKind::HashRandom);
@@ -16,7 +16,7 @@ fn sample_for(placement: PlacementKind, runs: usize) -> ExecutionSample {
         .with_campaign_seed(0x5A5A)
         .run(&trace)
         .expect("valid platform");
-    ExecutionSample::from_cycles(&result.cycles())
+    ExecutionSample::from_cycles_iter(result.cycles_iter())
 }
 
 #[test]
