@@ -1,0 +1,119 @@
+//! Campaign throughput: the repo's recorded perf baseline.
+//!
+//! Replays the 1,000-seed EEMBC-style measurement campaign (the paper's
+//! MBPTA protocol on the `cacheb` kernel) through [`Campaign`] in both
+//! engine shapes — `batched` (the default, [`Campaign::DEFAULT_LANES`]
+//! seed lanes per trace decode) and `sequential` (`with_lanes(1)`, one
+//! hierarchy per decode pass) — for every placement kind, on one worker
+//! thread so the numbers measure the replay engine rather than the host's
+//! core count.
+//!
+//! Before timing anything the bench asserts that both shapes produce the
+//! same `CampaignResult` bit-for-bit; a divergence aborts the bench (this
+//! is the equivalence gate the `bench-smoke` CI step relies on).  In bench
+//! mode it also prints a `throughput:` line per configuration in
+//! events/second — the numbers recorded in `BENCH_baseline.json` and
+//! EXPERIMENTS.md.
+//!
+//! Environment knobs:
+//!
+//! * `CAMPAIGN_BENCH_QUICK=1` — 40-run campaigns (CI smoke mode).
+//! * `CAMPAIGN_BENCH_RUNS=N` — explicit run count (default 1,000).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use randmod_bench::bench_platform;
+use randmod_core::PlacementKind;
+use randmod_sim::{Campaign, CampaignResult, PackedTrace, PlatformConfig};
+use randmod_workloads::{EembcBenchmark, MemoryLayout, Workload};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The campaign seed used by every timed configuration (fixed so recorded
+/// numbers are comparable across machines and PRs).
+const CAMPAIGN_SEED: u64 = 0xBEEF;
+
+fn runs() -> usize {
+    if std::env::var_os("CAMPAIGN_BENCH_QUICK").is_some() {
+        return 40;
+    }
+    std::env::var("CAMPAIGN_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn campaign(platform: PlatformConfig, runs: usize, lanes: usize) -> Campaign {
+    Campaign::new(platform, runs)
+        .with_campaign_seed(CAMPAIGN_SEED)
+        .with_threads(1)
+        .with_lanes(lanes)
+}
+
+fn run_campaign(platform: PlatformConfig, runs: usize, lanes: usize, trace: &PackedTrace) -> CampaignResult {
+    campaign(platform, runs, lanes)
+        .run(trace)
+        .expect("valid platform")
+}
+
+fn campaign_throughput(c: &mut Criterion) {
+    let trace = EembcBenchmark::Cacheb.packed_trace(&MemoryLayout::default());
+    let events = trace.len() as u64;
+    let runs = runs();
+    let lanes = Campaign::DEFAULT_LANES;
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.throughput(Throughput::Elements(events * runs as u64));
+    group.sample_size(10);
+
+    for kind in PlacementKind::ALL {
+        let platform = bench_platform(kind);
+
+        // Equivalence gate: the batched engine must reproduce the
+        // sequential engine bit-for-bit before its throughput means
+        // anything.  `assert_eq!` on the full CampaignResult covers cycles
+        // and per-run HierarchyStats.  Under `cargo test` (no `--bench`)
+        // the gate still runs, on a reduced campaign, so plain test runs
+        // keep smoke-checking the equivalence cheaply.
+        let gate_runs = if bench_mode() { runs } else { runs.min(40) };
+        let batched_result = run_campaign(platform, gate_runs, lanes, &trace);
+        let sequential_result = run_campaign(platform, gate_runs, 1, &trace);
+        assert_eq!(
+            batched_result, sequential_result,
+            "batched and sequential campaigns diverged for {kind}"
+        );
+
+        if bench_mode() {
+            // One manually timed pass per shape, reported as events/sec
+            // (the criterion stub reports wall-clock medians only).
+            for (label, shape_lanes) in [("batched", lanes), ("sequential", 1)] {
+                let start = Instant::now();
+                black_box(run_campaign(platform, runs, shape_lanes, &trace));
+                let elapsed = start.elapsed().as_secs_f64();
+                let events_per_sec = (events * runs as u64) as f64 / elapsed;
+                println!(
+                    "throughput: {}/{}/{} {:.3e} events/sec ({} runs x {} events)",
+                    kind, label, shape_lanes, events_per_sec, runs, events
+                );
+            }
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}"), "batched"),
+            &trace,
+            |b, trace| b.iter(|| black_box(run_campaign(platform, runs, lanes, trace))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{kind}"), "sequential"),
+            &trace,
+            |b, trace| b.iter(|| black_box(run_campaign(platform, runs, 1, trace))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, campaign_throughput);
+criterion_main!(benches);

@@ -161,12 +161,25 @@ impl BenesNetwork {
     /// Because the network realises a permutation of bit positions, this is
     /// a bijection on `0..2^n` for every control word — the property Random
     /// Modulo relies on.
+    /// This runs once per Random-Modulo cache access, so it is written to
+    /// be allocation-free and branchless: each switch is a conditional
+    /// exchange of two bit positions, applied with the XOR-swap identity
+    /// masked by the control bit.  Bits at positions `n` and above are
+    /// discarded, as the bit-vector construction this replaced did.
+    #[inline]
     pub fn permute_bits(&self, value: u32, controls: u128) -> u32 {
-        let mut bits: Vec<u8> = (0..self.n).map(|i| ((value >> i) & 1) as u8).collect();
-        self.apply(&mut bits, controls);
-        bits.iter()
-            .enumerate()
-            .fold(0u32, |acc, (i, &b)| acc | ((b as u32) << i))
+        let mut v = if self.n >= u32::BITS as usize {
+            value
+        } else {
+            value & ((1u32 << self.n) - 1)
+        };
+        for (k, gate) in self.gates.iter().enumerate() {
+            let control = ((controls >> k) & 1) as u32;
+            // 1 when the switch is crossed and the two bits differ.
+            let diff = ((v >> gate.a) ^ (v >> gate.b)) & control;
+            v ^= (diff << gate.a) | (diff << gate.b);
+        }
+        v
     }
 
     /// Masks a control word to the bits the network actually uses.
@@ -251,6 +264,44 @@ mod tests {
                 assert!(!seen[out as usize], "collision for control {controls:#x}");
                 seen[out as usize] = true;
             }
+        }
+    }
+
+    #[test]
+    fn permute_bits_matches_the_permutation_reference() {
+        // The branchless bit-swap walk must realise exactly the wire
+        // permutation reported by `permutation()` (the retained reference
+        // implementation built on `apply`).
+        for n in [1usize, 2, 3, 4, 7, 8, 10] {
+            let net = BenesNetwork::new(n);
+            let mut sm = crate::prng::SplitMix64::new(0xB1B1);
+            for _ in 0..200 {
+                let controls = ((sm.next_u64() as u128) << 64) | sm.next_u64() as u128;
+                let perm = net.permutation(controls);
+                for value in 0..(1u32 << n).min(512) {
+                    let expected = (0..n)
+                        .filter(|&out| (value >> perm[out]) & 1 == 1)
+                        .fold(0u32, |acc, out| acc | (1 << out));
+                    assert_eq!(net.permute_bits(value, controls), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_bits_discards_bits_above_the_wire_count() {
+        let net = BenesNetwork::new(7);
+        assert_eq!(net.permute_bits(0x80, 0), 0);
+        assert_eq!(net.permute_bits(0xFFFF_FFFF, 0), 0x7F);
+        let mut sm = crate::prng::SplitMix64::new(3);
+        for _ in 0..100 {
+            let controls = sm.next_u64() as u128;
+            let value = sm.next_u64() as u32;
+            assert_eq!(
+                net.permute_bits(value, controls),
+                net.permute_bits(value & 0x7F, controls)
+            );
+            assert!(net.permute_bits(value, controls) < 128);
         }
     }
 

@@ -17,9 +17,9 @@
 
 use crate::address::{Address, CacheGeometry, LineAddr};
 use crate::error::ConfigError;
-use crate::placement::{PlacementKind, PlacementPolicy};
+use crate::placement::{Placement, PlacementKind, PlacementPolicy};
 use crate::prng::CombinedLfsr;
-use crate::replacement::{ReplacementKind, ReplacementSet};
+use crate::replacement::{ReplacementKind, ReplacementState};
 use std::fmt;
 
 /// What kind of memory access is being performed.
@@ -159,17 +159,77 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Compact outcome of a [`SetAssocCache::access_lean`] call: the same
+/// information as [`AccessOutcome`] minus the evicted line address, packed
+/// into one byte so batched replay lanes can accumulate statistics with
+/// branch-free adds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-struct CacheLine {
-    valid: bool,
-    dirty: bool,
-    line: LineAddr,
+pub struct AccessFlags(u8);
+
+impl AccessFlags {
+    const HIT: u8 = 1 << 0;
+    const FILLED: u8 = 1 << 1;
+    const EVICTED: u8 = 1 << 2;
+    const WRITEBACK: u8 = 1 << 3;
+
+    /// Whether the access hit.
+    #[inline]
+    pub const fn is_hit(self) -> bool {
+        self.0 & Self::HIT != 0
+    }
+
+    /// Whether the access missed.
+    #[inline]
+    pub const fn is_miss(self) -> bool {
+        !self.is_hit()
+    }
+
+    /// Whether the miss allocated a line.
+    #[inline]
+    pub const fn filled(self) -> bool {
+        self.0 & Self::FILLED != 0
+    }
+
+    /// Whether the fill displaced a valid line.
+    #[inline]
+    pub const fn evicted(self) -> bool {
+        self.0 & Self::EVICTED != 0
+    }
+
+    /// Whether the displaced line was dirty (a write-back).
+    #[inline]
+    pub const fn wrote_back(self) -> bool {
+        self.0 & Self::WRITEBACK != 0
+    }
 }
 
-#[derive(Debug, Clone)]
-struct CacheSet {
-    lines: Vec<CacheLine>,
-    replacement: ReplacementSet,
+/// Sentinel stored in the flat tag array for an invalid way.  Line
+/// addresses are byte addresses shifted right by the offset bits, and the
+/// trace pipeline caps addresses at 2⁶² − 1, so the all-ones value can
+/// never be a real line.
+const INVALID_TAG: u64 = u64::MAX;
+
+/// Raw outcome of the shared access path: flags plus the way used and the
+/// displaced line (when any).
+struct RawAccess {
+    flags: AccessFlags,
+    way: u32,
+    evicted: Option<EvictedLine>,
+}
+
+#[inline]
+fn bit_get(words: &[u64], index: usize) -> bool {
+    (words[index >> 6] >> (index & 63)) & 1 == 1
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], index: usize) {
+    words[index >> 6] |= 1 << (index & 63);
+}
+
+#[inline]
+fn bit_clear(words: &mut [u64], index: usize) {
+    words[index >> 6] &= !(1 << (index & 63));
 }
 
 /// A set-associative cache with pluggable placement and replacement.
@@ -195,15 +255,45 @@ struct CacheSet {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
-    placement: Box<dyn PlacementPolicy>,
+    placement: Placement,
     write_policy: WritePolicy,
-    sets: Vec<CacheSet>,
+    /// Associativity, cached as `usize` for the indexing hot path.
+    ways: usize,
+    /// Flat tag array: `tags[set * ways + way]` holds the resident line
+    /// address, or [`INVALID_TAG`] for an empty way.  One L1's worth fits
+    /// in a few KiB of contiguous memory.
+    tags: Vec<u64>,
+    /// Packed valid bits, one per line (mirrors `tags != INVALID_TAG`;
+    /// kept for cheap occupancy queries).
+    valid: Vec<u64>,
+    /// Packed dirty bits, one per line.
+    dirty: Vec<u64>,
+    /// Flat replacement state for every set.
+    replacement: ReplacementState,
     rng: CombinedLfsr,
     stats: CacheStats,
+    /// Most-recently-read line, the one-compare fast path for the common
+    /// same-line run of instruction fetches and sequential loads.  Pinned
+    /// to [`INVALID_TAG`] (never matches) unless replacement is Random:
+    /// under random replacement a read hit changes no cache state (`touch`
+    /// is a no-op and reads never dirty a line), so short-circuiting the
+    /// repeat hit is state- and outcome-identical.  LRU and round-robin
+    /// must re-rank on every hit and always take the full path.
+    mru_line: u64,
+    /// Flat tag index of the MRU line (validated against `tags` on use, so
+    /// an eviction of the MRU line simply falls back to the full probe).
+    mru_index: usize,
+    /// Way of the MRU line within its set.
+    mru_way: u32,
+    /// Whether the MRU fast path may be armed (replacement is Random).
+    mru_enabled: bool,
 }
 
 impl SetAssocCache {
-    /// Creates a cache from an already-built placement policy.
+    /// Creates a cache from an already-built boxed placement policy (the
+    /// extension point for policies implemented outside this crate; the
+    /// built-in policies go through [`Self::with_kinds`] or
+    /// [`Self::with_placement`] and are statically dispatched).
     ///
     /// # Panics
     ///
@@ -214,24 +304,42 @@ impl SetAssocCache {
         replacement: ReplacementKind,
         write_policy: WritePolicy,
     ) -> Self {
+        Self::with_placement(geometry, Placement::from(placement), replacement, write_policy)
+    }
+
+    /// Creates a cache from a statically dispatched [`Placement`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement policy was built for a different geometry.
+    pub fn with_placement(
+        geometry: CacheGeometry,
+        placement: Placement,
+        replacement: ReplacementKind,
+        write_policy: WritePolicy,
+    ) -> Self {
         assert_eq!(
             placement.geometry(),
             geometry,
             "placement policy geometry does not match the cache geometry"
         );
-        let sets = (0..geometry.sets())
-            .map(|_| CacheSet {
-                lines: vec![CacheLine::default(); geometry.ways() as usize],
-                replacement: ReplacementSet::new(replacement, geometry.ways()),
-            })
-            .collect();
+        let lines = geometry.sets() as usize * geometry.ways() as usize;
+        let words = lines.div_ceil(64);
         SetAssocCache {
             geometry,
             placement,
             write_policy,
-            sets,
+            ways: geometry.ways() as usize,
+            tags: vec![INVALID_TAG; lines],
+            valid: vec![0; words],
+            dirty: vec![0; words],
+            replacement: ReplacementState::new(replacement, geometry.sets(), geometry.ways()),
             rng: CombinedLfsr::new(0),
             stats: CacheStats::default(),
+            mru_line: INVALID_TAG,
+            mru_index: 0,
+            mru_way: 0,
+            mru_enabled: replacement == ReplacementKind::Random,
         }
     }
 
@@ -247,9 +355,9 @@ impl SetAssocCache {
         replacement: ReplacementKind,
         write_policy: WritePolicy,
     ) -> Result<Self, ConfigError> {
-        Ok(Self::new(
+        Ok(Self::with_placement(
             geometry,
-            placement.build(geometry)?,
+            Placement::new(placement, geometry)?,
             replacement,
             write_policy,
         ))
@@ -262,7 +370,7 @@ impl SetAssocCache {
 
     /// The placement policy in use.
     pub fn placement(&self) -> &dyn PlacementPolicy {
-        self.placement.as_ref()
+        self.placement.as_dyn()
     }
 
     /// The write policy in use.
@@ -291,12 +399,11 @@ impl SetAssocCache {
     /// Invalidates every line (dirty contents are discarded; the caller is
     /// responsible for modelling any write-back traffic if needed).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for line in &mut set.lines {
-                *line = CacheLine::default();
-            }
-            set.replacement.reset();
-        }
+        self.tags.fill(INVALID_TAG);
+        self.valid.fill(0);
+        self.dirty.fill(0);
+        self.replacement.reset();
+        self.mru_line = INVALID_TAG;
         self.stats.flushes += 1;
     }
 
@@ -304,8 +411,8 @@ impl SetAssocCache {
     /// any state or statistics.
     pub fn contains(&self, addr: Address) -> bool {
         let line = self.geometry.line_addr(addr);
-        let set = &self.sets[self.placement.set_index_of_line(line) as usize];
-        set.lines.iter().any(|l| l.valid && l.line == line)
+        let base = self.placement.set_index_of_line(line) as usize * self.ways;
+        self.tags[base..base + self.ways].contains(&line.raw())
     }
 
     /// Number of valid lines currently resident in set `index`.
@@ -314,78 +421,159 @@ impl SetAssocCache {
     ///
     /// Panics if `index >= sets`.
     pub fn set_occupancy(&self, index: u32) -> u32 {
-        self.sets[index as usize]
-            .lines
-            .iter()
-            .filter(|l| l.valid)
+        assert!(index < self.geometry.sets(), "set index out of range");
+        let base = index as usize * self.ways;
+        (base..base + self.ways)
+            .filter(|&i| bit_get(&self.valid, i))
             .count() as u32
     }
 
-    /// Performs one access and returns its outcome.
-    pub fn access(&mut self, addr: Address, kind: AccessKind) -> AccessOutcome {
-        let line = self.geometry.line_addr(addr);
-        let set_index = self.placement.set_index_of_line(line) as usize;
-        self.stats.accesses += 1;
-        if kind.is_write() {
-            self.stats.stores += 1;
-        }
+    /// The shared access path: probes the set in a single pass (recording
+    /// the first invalid way while looking for a hit), fills on an
+    /// allocating miss, and reports what happened — without touching the
+    /// statistics.
+    #[inline]
+    fn access_raw(&mut self, line: LineAddr, is_write: bool) -> RawAccess {
+        debug_assert_ne!(
+            line.raw(),
+            INVALID_TAG,
+            "line address collides with the invalid-tag sentinel"
+        );
+        let raw = line.raw();
 
-        let set = &mut self.sets[set_index];
-        if let Some(way) = set
-            .lines
-            .iter()
-            .position(|l| l.valid && l.line == line)
-            .map(|w| w as u32)
-        {
-            self.stats.hits += 1;
-            set.replacement.touch(way);
-            if kind.is_write() && self.write_policy == WritePolicy::WriteBack {
-                set.lines[way as usize].dirty = true;
-            }
-            return AccessOutcome::Hit { way };
-        }
-
-        self.stats.misses += 1;
-
-        // Write-through caches do not allocate on store misses: the store
-        // goes straight to the next level.
-        let allocate = !(kind.is_write() && self.write_policy == WritePolicy::WriteThrough);
-        if !allocate {
-            return AccessOutcome::Miss {
-                allocated: false,
+        // Fast path: a repeat read of the most-recently-read line.  Armed
+        // only under Random replacement, where a read hit mutates no state;
+        // the tag re-check makes an interleaved eviction fall back to the
+        // full probe.
+        if raw == self.mru_line && self.tags[self.mru_index] == raw && !is_write {
+            return RawAccess {
+                flags: AccessFlags(AccessFlags::HIT),
+                way: self.mru_way,
                 evicted: None,
             };
         }
 
-        self.stats.fills += 1;
-        // Prefer an invalid way; otherwise ask the replacement policy.
-        let way = match set.lines.iter().position(|l| !l.valid) {
-            Some(w) => w as u32,
-            None => set.replacement.victim(&mut self.rng),
-        };
-        let victim = &mut set.lines[way as usize];
-        let evicted = if victim.valid {
-            self.stats.evictions += 1;
-            if victim.dirty {
-                self.stats.writebacks += 1;
+        let set = self.placement.set_index_of_line_mut(line);
+        let base = set as usize * self.ways;
+
+        // One pass over the ways: probe for a hit and remember the first
+        // invalid way for a potential fill.  Invalid ways hold the sentinel,
+        // which never equals a real line address, so hit detection needs no
+        // separate valid check.
+        let mut invalid_way = usize::MAX;
+        let mut hit_way = usize::MAX;
+        for (way, &tag) in self.tags[base..base + self.ways].iter().enumerate() {
+            if tag == raw {
+                hit_way = way;
+                break;
             }
+            if tag == INVALID_TAG && invalid_way == usize::MAX {
+                invalid_way = way;
+            }
+        }
+
+        if hit_way != usize::MAX {
+            self.replacement.touch(set, hit_way as u32);
+            if is_write && self.write_policy == WritePolicy::WriteBack {
+                bit_set(&mut self.dirty, base + hit_way);
+            }
+            if self.mru_enabled && !is_write {
+                self.mru_line = raw;
+                self.mru_index = base + hit_way;
+                self.mru_way = hit_way as u32;
+            }
+            return RawAccess {
+                flags: AccessFlags(AccessFlags::HIT),
+                way: hit_way as u32,
+                evicted: None,
+            };
+        }
+
+        // Write-through caches do not allocate on store misses: the store
+        // goes straight to the next level.
+        if is_write && self.write_policy == WritePolicy::WriteThrough {
+            return RawAccess {
+                flags: AccessFlags(0),
+                way: 0,
+                evicted: None,
+            };
+        }
+
+        // Prefer the invalid way found during the probe; otherwise ask the
+        // replacement policy for a victim.
+        let way = if invalid_way != usize::MAX {
+            invalid_way
+        } else {
+            self.replacement.victim(set, &mut self.rng) as usize
+        };
+        let index = base + way;
+        let old_tag = self.tags[index];
+        let mut flags = AccessFlags::FILLED;
+        let evicted = if old_tag != INVALID_TAG {
+            let was_dirty = bit_get(&self.dirty, index);
+            flags |= AccessFlags::EVICTED | if was_dirty { AccessFlags::WRITEBACK } else { 0 };
             Some(EvictedLine {
-                line: victim.line,
-                dirty: victim.dirty,
+                line: LineAddr::new(old_tag),
+                dirty: was_dirty,
             })
         } else {
             None
         };
-        *victim = CacheLine {
-            valid: true,
-            dirty: kind.is_write() && self.write_policy == WritePolicy::WriteBack,
-            line,
-        };
-        set.replacement.touch(way);
-        AccessOutcome::Miss {
-            allocated: true,
+        self.tags[index] = raw;
+        bit_set(&mut self.valid, index);
+        if is_write && self.write_policy == WritePolicy::WriteBack {
+            bit_set(&mut self.dirty, index);
+        } else {
+            bit_clear(&mut self.dirty, index);
+        }
+        self.replacement.touch(set, way as u32);
+        if self.mru_enabled && !is_write {
+            self.mru_line = raw;
+            self.mru_index = index;
+            self.mru_way = way as u32;
+        }
+        RawAccess {
+            flags: AccessFlags(flags),
+            way: way as u32,
             evicted,
         }
+    }
+
+    /// Performs one access and returns its outcome.
+    #[inline]
+    pub fn access(&mut self, addr: Address, kind: AccessKind) -> AccessOutcome {
+        let line = self.geometry.line_addr(addr);
+        let is_write = kind.is_write();
+        self.stats.accesses += 1;
+        self.stats.stores += is_write as u64;
+        let raw = self.access_raw(line, is_write);
+        let flags = raw.flags;
+        if flags.is_hit() {
+            self.stats.hits += 1;
+            AccessOutcome::Hit { way: raw.way }
+        } else {
+            self.stats.misses += 1;
+            self.stats.fills += flags.filled() as u64;
+            self.stats.evictions += flags.evicted() as u64;
+            self.stats.writebacks += flags.wrote_back() as u64;
+            AccessOutcome::Miss {
+                allocated: flags.filled(),
+                evicted: raw.evicted,
+            }
+        }
+    }
+
+    /// Performs one access without updating the statistics, returning the
+    /// compact [`AccessFlags`] instead of a full [`AccessOutcome`].
+    ///
+    /// This is the batched-replay hot path: callers (one per replay lane)
+    /// accumulate their own counters from the flags and flush them into a
+    /// [`CacheStats`] once per run, instead of read-modify-writing the
+    /// eight-field statistics block on every event.
+    #[inline]
+    pub fn access_lean(&mut self, addr: Address, kind: AccessKind) -> AccessFlags {
+        self.access_raw(self.geometry.line_addr(addr), kind.is_write())
+            .flags
     }
 
     /// Returns the set index the current layout assigns to `addr`.

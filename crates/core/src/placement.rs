@@ -182,6 +182,164 @@ impl FromStr for PlacementKind {
 }
 
 // ---------------------------------------------------------------------------
+// Static dispatch
+// ---------------------------------------------------------------------------
+
+/// A placement policy with *static* dispatch over the four built-in
+/// designs, used on the replay hot path.
+///
+/// [`SetAssocCache`](crate::cache::SetAssocCache) performs one placement
+/// lookup per access; through a `Box<dyn PlacementPolicy>` that lookup is an
+/// indirect call the CPU cannot inline or predict well.  `Placement` is a
+/// plain enum over the concrete policy types, so `set_index_of_line` is a
+/// direct, inlinable match — the compiler monomorphizes the whole cache
+/// access for each variant.
+///
+/// The [`PlacementPolicy`] trait remains the public extension point:
+/// `Placement::Custom` adapts any boxed implementation (at the old virtual-
+/// call cost), via [`From<Box<dyn PlacementPolicy>>`].
+///
+/// ```
+/// use randmod_core::{Placement, PlacementKind, CacheGeometry, Address};
+///
+/// # fn main() -> Result<(), randmod_core::ConfigError> {
+/// let mut placement = Placement::new(PlacementKind::RandomModulo, CacheGeometry::leon3_l1())?;
+/// placement.reseed(7);
+/// assert!(placement.set_index(Address::new(0x4000_0000)) < 128);
+/// assert_eq!(placement.kind(), PlacementKind::RandomModulo);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub enum Placement {
+    /// Conventional modulo placement.
+    Modulo(ModuloPlacement),
+    /// Deterministic XOR-folding placement.
+    Xor(XorPlacement),
+    /// Hash-based random placement (hRP).
+    HashRandom(HashRandomPlacement),
+    /// Random Modulo placement (RM).
+    RandomModulo(RandomModuloPlacement),
+    /// An externally provided policy, dispatched through the trait object
+    /// (the extension point for policies outside this crate).
+    Custom(Box<dyn PlacementPolicy>),
+}
+
+impl Placement {
+    /// Builds the statically dispatched policy for `kind` on `geometry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the geometry cannot support the policy
+    /// (currently never: all supported geometries work with all policies).
+    pub fn new(kind: PlacementKind, geometry: CacheGeometry) -> Result<Self, ConfigError> {
+        Ok(match kind {
+            PlacementKind::Modulo => Placement::Modulo(ModuloPlacement::new(geometry)),
+            PlacementKind::Xor => Placement::Xor(XorPlacement::new(geometry)),
+            PlacementKind::HashRandom => {
+                Placement::HashRandom(HashRandomPlacement::new(geometry))
+            }
+            PlacementKind::RandomModulo => {
+                Placement::RandomModulo(RandomModuloPlacement::new(geometry))
+            }
+        })
+    }
+
+    /// The geometry this policy was built for.
+    pub fn geometry(&self) -> CacheGeometry {
+        match self {
+            Placement::Modulo(p) => p.geometry(),
+            Placement::Xor(p) => p.geometry(),
+            Placement::HashRandom(p) => p.geometry(),
+            Placement::RandomModulo(p) => p.geometry(),
+            Placement::Custom(p) => p.geometry(),
+        }
+    }
+
+    /// Maps a line address to a set index in `0..sets` (the per-access hot
+    /// path; statically dispatched for the built-in policies).
+    #[inline]
+    pub fn set_index_of_line(&self, line: LineAddr) -> u32 {
+        match self {
+            Placement::Modulo(p) => p.set_index_of_line(line),
+            Placement::Xor(p) => p.set_index_of_line(line),
+            Placement::HashRandom(p) => p.set_index_of_line(line),
+            Placement::RandomModulo(p) => p.set_index_of_line(line),
+            Placement::Custom(p) => p.set_index_of_line(line),
+        }
+    }
+
+    /// Maps a line address to a set index through each policy's fastest
+    /// path: identical results to [`Self::set_index_of_line`], but Random
+    /// Modulo is allowed to consult and fill its per-segment permutation
+    /// memo (which needs `&mut self`).  The cache model calls this once per
+    /// access.
+    #[inline]
+    pub fn set_index_of_line_mut(&mut self, line: LineAddr) -> u32 {
+        match self {
+            Placement::RandomModulo(p) => p.set_index_of_line_cached(line),
+            other => other.set_index_of_line(line),
+        }
+    }
+
+    /// Maps a byte address to a set index in `0..sets`.
+    pub fn set_index(&self, addr: Address) -> u32 {
+        self.set_index_of_line(self.geometry().line_addr(addr))
+    }
+
+    /// Installs a new random seed, i.e. selects a new cache layout.
+    pub fn reseed(&mut self, seed: u64) {
+        match self {
+            Placement::Modulo(p) => p.reseed(seed),
+            Placement::Xor(p) => p.reseed(seed),
+            Placement::HashRandom(p) => p.reseed(seed),
+            Placement::RandomModulo(p) => p.reseed(seed),
+            Placement::Custom(p) => p.reseed(seed),
+        }
+    }
+
+    /// The currently installed seed.
+    pub fn seed(&self) -> u64 {
+        self.as_dyn().seed()
+    }
+
+    /// Which policy this is.
+    pub fn kind(&self) -> PlacementKind {
+        self.as_dyn().kind()
+    }
+
+    /// Whether the layout depends on the seed.
+    pub fn is_randomized(&self) -> bool {
+        self.as_dyn().is_randomized()
+    }
+
+    /// Whether the set index must be stored alongside the tag.
+    pub fn stores_index_in_tag(&self) -> bool {
+        self.as_dyn().stores_index_in_tag()
+    }
+
+    /// Borrows the policy through the common trait (for code that is
+    /// generic over [`PlacementPolicy`], e.g. the layout-census helpers).
+    pub fn as_dyn(&self) -> &dyn PlacementPolicy {
+        match self {
+            Placement::Modulo(p) => p,
+            Placement::Xor(p) => p,
+            Placement::HashRandom(p) => p,
+            Placement::RandomModulo(p) => p,
+            Placement::Custom(p) => p.as_ref(),
+        }
+    }
+}
+
+impl From<Box<dyn PlacementPolicy>> for Placement {
+    /// Adapts a boxed policy into the enum (dispatched dynamically, at the
+    /// old virtual-call cost).
+    fn from(policy: Box<dyn PlacementPolicy>) -> Self {
+        Placement::Custom(policy)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Modulo
 // ---------------------------------------------------------------------------
 
@@ -381,12 +539,15 @@ impl PlacementPolicy for HashRandomPlacement {
         }
         let mask = (self.geometry.sets() - 1) as u64;
         let hashed = self.parametric_hash(line.raw());
-        // Final XOR-folding cascade down to the index width.
+        // Final XOR-folding cascade down to the index width.  The trip
+        // count depends only on the index width, not on the hash value
+        // (folding in the zero chunks above the topmost set bit is a
+        // no-op), which keeps this per-access loop branch-predictable.
         let mut folded = 0u64;
-        let mut value = hashed;
-        while value != 0 {
-            folded ^= value & mask;
-            value >>= n;
+        let mut shift = 0u32;
+        while shift < u64::BITS {
+            folded ^= (hashed >> shift) & mask;
+            shift += n;
         }
         folded as u32
     }
@@ -456,6 +617,59 @@ pub struct RandomModuloPlacement {
     seed_controls: u128,
     /// The seed bit concatenated above the upper-address bits.
     seed_top_bit: u128,
+    /// Per-segment permutation memo used by the `&mut self` hot path.
+    memo: SegmentLutCache,
+}
+
+/// Direct-mapped memo of per-segment index permutations.
+///
+/// Under a fixed seed, RM's mapping within one cache segment is a fixed
+/// permutation of the modulo indices (that is its defining property), and a
+/// program touches only a handful of segments — its footprint divided by
+/// the way size.  Walking the Benes network on every access therefore
+/// recomputes the same few permutations millions of times.  This memo
+/// caches each segment's permutation as a flat look-up table, turning the
+/// per-access cost into one predictable tag compare plus one table load.
+/// Entries are pure functions of `(segment, seed)`, so memoized results are
+/// bit-identical to the network walk; reseeding invalidates everything.
+#[derive(Debug, Clone)]
+struct SegmentLutCache {
+    /// Number of direct-mapped slots (power of two); zero when memoization
+    /// is disabled because the geometry's LUTs would be too large.
+    slots: usize,
+    sets: usize,
+    /// Segment id resident in each slot (`u64::MAX` = empty).
+    tags: Vec<u64>,
+    /// `luts[slot * sets + modulo_index]` = permuted index.
+    luts: Vec<u16>,
+}
+
+impl SegmentLutCache {
+    /// Upper bound on sets for which memoization pays off (the LUT of one
+    /// segment must stay small enough to be cache-resident, and index
+    /// values must fit the `u16` entries).
+    const MAX_SETS: u32 = 4096;
+    /// Approximate per-cache memo budget in LUT entries (~16KB of `u16`s).
+    const BUDGET_ENTRIES: usize = 8192;
+
+    fn new(geometry: CacheGeometry) -> Self {
+        let sets = geometry.sets() as usize;
+        let slots = if geometry.sets() <= Self::MAX_SETS {
+            (Self::BUDGET_ENTRIES / sets).clamp(4, 64).next_power_of_two()
+        } else {
+            0
+        };
+        SegmentLutCache {
+            slots,
+            sets,
+            tags: vec![u64::MAX; slots],
+            luts: vec![0; slots * sets],
+        }
+    }
+
+    fn invalidate(&mut self) {
+        self.tags.fill(u64::MAX);
+    }
 }
 
 impl RandomModuloPlacement {
@@ -468,9 +682,43 @@ impl RandomModuloPlacement {
             network,
             seed_controls: 0,
             seed_top_bit: 0,
+            memo: SegmentLutCache::new(geometry),
         };
         policy.reseed(0);
         policy
+    }
+
+    /// Maps a line address to its set index through the per-segment
+    /// permutation memo — the cache-model hot path.
+    ///
+    /// Bit-identical to [`PlacementPolicy::set_index_of_line`] (memo
+    /// entries are pure functions of the segment and the installed seed);
+    /// the `&mut self` receiver is only used to fill memo slots.
+    #[inline]
+    pub fn set_index_of_line_cached(&mut self, line: LineAddr) -> u32 {
+        let modulo_index = self.geometry.modulo_index_of_line(line);
+        let segment = self.geometry.segment_of_line(line);
+        if self.memo.slots == 0 {
+            let controls = self.control_word_for_segment(segment);
+            return self.network.permute_bits(modulo_index, controls);
+        }
+        let slot = segment as usize & (self.memo.slots - 1);
+        if self.memo.tags[slot] != segment {
+            self.fill_memo_slot(slot, segment);
+        }
+        self.memo.luts[slot * self.memo.sets + modulo_index as usize] as u32
+    }
+
+    /// Computes the full permutation LUT of one segment (the memoization
+    /// slow path, amortized over every subsequent access to the segment).
+    fn fill_memo_slot(&mut self, slot: usize, segment: u64) {
+        let controls = self.control_word_for_segment(segment);
+        let base = slot * self.memo.sets;
+        for index in 0..self.memo.sets as u32 {
+            self.memo.luts[base + index as usize] =
+                self.network.permute_bits(index, controls) as u16;
+        }
+        self.memo.tags[slot] = segment;
     }
 
     /// Number of control bits of the underlying Benes network.
@@ -522,6 +770,8 @@ impl PlacementPolicy for RandomModuloPlacement {
         let high = sm.next_u64() as u128;
         self.seed_controls = (high << 64) | low;
         self.seed_top_bit = (seed >> 63) as u128 & 1;
+        // A new seed selects new per-segment permutations.
+        self.memo.invalidate();
     }
 
     fn seed(&self) -> u64 {
@@ -840,6 +1090,104 @@ mod tests {
             let addr = Address::new(0x9000_0000 + i * 32);
             assert_eq!(policy.set_index(addr), cloned.set_index(addr));
         }
+    }
+
+    #[test]
+    fn rm_memoized_index_matches_the_pure_network_walk() {
+        // The per-segment LUT memo must be invisible: for any mix of
+        // lines (far more segments than memo slots, so slots are evicted
+        // and refilled constantly) and across reseeds (which must
+        // invalidate every slot), the cached path returns exactly what
+        // the pure Benes walk returns.
+        for geometry in [
+            CacheGeometry::leon3_l1(),
+            CacheGeometry::leon3_l2_partition(),
+            CacheGeometry::new(8, 2, 32).unwrap(),
+        ] {
+            let mut policy = RandomModuloPlacement::new(geometry);
+            let mut sm = SplitMix64::new(0x5EED_CAFE);
+            for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+                policy.reseed(seed);
+                for _ in 0..5_000 {
+                    // ~2^26 line space: thousands of distinct segments.
+                    let line = LineAddr::new(sm.next_u64() & 0x3FF_FFFF);
+                    let pure = PlacementPolicy::set_index_of_line(&policy, line);
+                    assert_eq!(
+                        policy.set_index_of_line_cached(line),
+                        pure,
+                        "memo diverged for line {line} under seed {seed:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placement_mut_path_matches_shared_path_for_all_kinds() {
+        let geometry = l1();
+        let mut sm = SplitMix64::new(42);
+        for kind in PlacementKind::ALL {
+            let mut placement = Placement::new(kind, geometry).unwrap();
+            placement.reseed(1234);
+            for _ in 0..2_000 {
+                let line = LineAddr::new(sm.next_u64() & 0xFF_FFFF);
+                assert_eq!(
+                    placement.set_index_of_line_mut(line),
+                    placement.set_index_of_line(line),
+                    "{kind}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_placement_matches_boxed_policy() {
+        // The enum must be behaviourally identical to the boxed trait
+        // object it replaces, for every kind, seed and address.
+        let geometry = l1();
+        let mut sm = SplitMix64::new(2024);
+        for kind in PlacementKind::ALL {
+            let mut fast = Placement::new(kind, geometry).unwrap();
+            let mut boxed = kind.build(geometry).unwrap();
+            assert_eq!(fast.kind(), kind);
+            assert_eq!(fast.geometry(), geometry);
+            assert_eq!(fast.is_randomized(), kind.is_randomized());
+            assert_eq!(fast.stores_index_in_tag(), kind.stores_index_in_tag());
+            for _ in 0..5 {
+                let seed = sm.next_u64();
+                fast.reseed(seed);
+                boxed.reseed(seed);
+                assert_eq!(fast.seed(), seed);
+                for _ in 0..500 {
+                    let addr = Address::new(sm.next_u64() & 0xFFFF_FFFF);
+                    assert_eq!(fast.set_index(addr), boxed.set_index(addr), "{kind}");
+                    let line = geometry.line_addr(addr);
+                    assert_eq!(
+                        fast.set_index_of_line(line),
+                        boxed.set_index_of_line(line),
+                        "{kind}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_variant_adapts_boxed_policies() {
+        let geometry = l1();
+        let mut custom = Placement::from(PlacementKind::RandomModulo.build(geometry).unwrap());
+        assert!(matches!(custom, Placement::Custom(_)));
+        assert_eq!(custom.kind(), PlacementKind::RandomModulo);
+        custom.reseed(42);
+        let mut reference = RandomModuloPlacement::new(geometry);
+        reference.reseed(42);
+        for i in 0..128u64 {
+            let addr = Address::new(0x8000_0000 + i * 32);
+            assert_eq!(custom.set_index(addr), reference.set_index(addr));
+        }
+        // The adapter still round-trips through the trait view and clones.
+        let cloned = custom.clone();
+        assert_eq!(cloned.as_dyn().seed(), 42);
     }
 
     #[test]

@@ -161,6 +161,115 @@ impl ReplacementSet {
     }
 }
 
+/// Whole-cache replacement bookkeeping in one flat allocation.
+///
+/// [`ReplacementSet`] keeps one heap allocation per set, which scatters the
+/// replay hot path across the heap.  `ReplacementState` stores the state of
+/// *every* set contiguously, indexed by `set * ways + way` (LRU) or `set`
+/// (round-robin), so a whole cache's replacement metadata is one `Vec<u32>`
+/// that stays resident in a few cache lines.  Behaviour is identical to a
+/// `ReplacementSet` per set, which is what keeps the data-oriented cache
+/// model bit-exact with the original nested layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplacementState {
+    kind: ReplacementKind,
+    sets: u32,
+    ways: u32,
+    /// LRU: `state[set * ways + way]` is the recency rank of that way
+    /// (0 = most recent).  Round-robin: `state[set]` is the next victim.
+    /// Random: empty.
+    state: Vec<u32>,
+}
+
+impl ReplacementState {
+    /// Creates flat replacement state for a cache of `sets` x `ways` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(kind: ReplacementKind, sets: u32, ways: u32) -> Self {
+        assert!(sets > 0, "a cache needs at least one set");
+        assert!(ways > 0, "a set needs at least one way");
+        let state = match kind {
+            ReplacementKind::Lru => (0..sets)
+                .flat_map(|_| 0..ways)
+                .collect(),
+            ReplacementKind::RoundRobin => vec![0; sets as usize],
+            ReplacementKind::Random => Vec::new(),
+        };
+        ReplacementState {
+            kind,
+            sets,
+            ways,
+            state,
+        }
+    }
+
+    /// The policy this state implements.
+    pub fn kind(&self) -> ReplacementKind {
+        self.kind
+    }
+
+    /// Notifies the policy that `way` of `set` was accessed (hit or fill).
+    #[inline]
+    pub fn touch(&mut self, set: u32, way: u32) {
+        debug_assert!(set < self.sets && way < self.ways);
+        if self.kind == ReplacementKind::Lru {
+            let base = (set * self.ways) as usize;
+            let ranks = &mut self.state[base..base + self.ways as usize];
+            let old_rank = ranks[way as usize];
+            for rank in ranks.iter_mut() {
+                if *rank < old_rank {
+                    *rank += 1;
+                }
+            }
+            ranks[way as usize] = 0;
+        }
+    }
+
+    /// Selects the way of `set` to evict when the set is full.
+    ///
+    /// Random replacement draws from `rng`; the other policies ignore it.
+    #[inline]
+    pub fn victim(&mut self, set: u32, rng: &mut CombinedLfsr) -> u32 {
+        debug_assert!(set < self.sets);
+        match self.kind {
+            ReplacementKind::Random => rng.next_below(self.ways),
+            ReplacementKind::Lru => {
+                let base = (set * self.ways) as usize;
+                let ranks = &self.state[base..base + self.ways as usize];
+                let (way, _) = ranks
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &rank)| rank)
+                    .expect("set has at least one way");
+                way as u32
+            }
+            ReplacementKind::RoundRobin => {
+                let pointer = &mut self.state[set as usize];
+                let way = *pointer;
+                *pointer = (way + 1) % self.ways;
+                way
+            }
+        }
+    }
+
+    /// Resets every set's state (used when the cache is flushed on a seed
+    /// change).
+    pub fn reset(&mut self) {
+        match self.kind {
+            ReplacementKind::Lru => {
+                let ways = self.ways;
+                for (i, rank) in self.state.iter_mut().enumerate() {
+                    *rank = i as u32 % ways;
+                }
+            }
+            ReplacementKind::RoundRobin => self.state.fill(0),
+            ReplacementKind::Random => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +369,47 @@ mod tests {
         assert_eq!(set.victim(&mut rng), 1);
         set.touch(1);
         assert_eq!(set.victim(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn flat_state_zero_sets_panics() {
+        ReplacementState::new(ReplacementKind::Lru, 0, 2);
+    }
+
+    #[test]
+    fn flat_state_matches_per_set_state() {
+        // The flat layout must reproduce the per-set ReplacementSet
+        // behaviour exactly for every policy, including after resets.
+        let sets = 4u32;
+        let ways = 4u32;
+        for kind in ReplacementKind::ALL {
+            let mut flat = ReplacementState::new(kind, sets, ways);
+            let mut nested: Vec<ReplacementSet> =
+                (0..sets).map(|_| ReplacementSet::new(kind, ways)).collect();
+            assert_eq!(flat.kind(), kind);
+            // Two independent RNGs seeded identically so Random replacement
+            // draws the same victims on both sides.
+            let mut rng_a = CombinedLfsr::new(77);
+            let mut rng_b = CombinedLfsr::new(77);
+            let mut driver = CombinedLfsr::new(5);
+            for step in 0..500 {
+                let set = driver.next_below(sets);
+                let way = driver.next_below(ways);
+                flat.touch(set, way);
+                nested[set as usize].touch(way);
+                assert_eq!(
+                    flat.victim(set, &mut rng_a),
+                    nested[set as usize].victim(&mut rng_b),
+                    "diverged at step {step} (kind {kind})"
+                );
+                if step % 97 == 0 {
+                    flat.reset();
+                    for set in nested.iter_mut() {
+                        set.reset();
+                    }
+                }
+            }
+        }
     }
 }

@@ -15,6 +15,10 @@ pub struct ExperimentOptions {
     /// Worker-thread override for the campaigns (`--threads N`); `None`
     /// keeps the default of one worker per available core.
     pub threads: Option<usize>,
+    /// Seed-lane override for the batched replay engine (`--lanes N`);
+    /// `None` keeps [`randmod_sim::Campaign::DEFAULT_LANES`].  `--lanes 1`
+    /// forces the sequential (one hierarchy per trace decode) path.
+    pub lanes: Option<usize>,
 }
 
 impl Default for ExperimentOptions {
@@ -24,6 +28,7 @@ impl Default for ExperimentOptions {
             campaign_seed: DEFAULT_CAMPAIGN_SEED,
             quick: false,
             threads: None,
+            lanes: None,
         }
     }
 }
@@ -59,6 +64,12 @@ impl ExperimentOptions {
                         i += 1;
                     }
                 }
+                "--lanes" => {
+                    if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        options.lanes = Some(value);
+                        i += 1;
+                    }
+                }
                 "--quick" => {
                     options.quick = true;
                 }
@@ -76,6 +87,9 @@ impl ExperimentOptions {
         // treat it as "no override" (Campaign clamps to 1 anyway).
         if options.threads == Some(0) {
             options.threads = None;
+        }
+        if options.lanes == Some(0) {
+            options.lanes = None;
         }
         options
     }
@@ -101,6 +115,12 @@ impl ExperimentOptions {
     /// Returns the options with a worker-thread override.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Returns the options with a seed-lane override.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = Some(lanes);
         self
     }
 }
@@ -143,6 +163,25 @@ mod tests {
         );
         assert_eq!(ExperimentOptions::parse(["--threads"]).threads, None);
         assert_eq!(ExperimentOptions::parse(["--threads", "0"]).threads, None);
+    }
+
+    #[test]
+    fn lanes_flag_is_parsed() {
+        assert_eq!(ExperimentOptions::parse(["--lanes", "4"]).lanes, Some(4));
+        assert_eq!(ExperimentOptions::parse(["--lanes", "1"]).lanes, Some(1));
+        let combined =
+            ExperimentOptions::parse(["--runs", "50", "--lanes", "16", "--threads", "2"]);
+        assert_eq!(combined.lanes, Some(16));
+        assert_eq!(combined.threads, Some(2));
+        assert_eq!(combined.runs, 50);
+    }
+
+    #[test]
+    fn malformed_or_zero_lane_counts_are_ignored() {
+        assert_eq!(ExperimentOptions::parse(["--lanes", "many"]).lanes, None);
+        assert_eq!(ExperimentOptions::parse(["--lanes"]).lanes, None);
+        assert_eq!(ExperimentOptions::parse(["--lanes", "0"]).lanes, None);
+        assert_eq!(ExperimentOptions::default().lanes, None);
     }
 
     #[test]

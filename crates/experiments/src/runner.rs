@@ -21,18 +21,23 @@ pub fn platform_with_l1(placement: PlacementKind) -> PlatformConfig {
         .with_l2_placement(PlacementKind::HashRandom)
 }
 
-/// Builds a campaign, applying the `--threads` override when set.
+/// Builds a campaign, applying the `--threads` and `--lanes` overrides
+/// when set.
 pub fn campaign(
     platform: PlatformConfig,
     runs: usize,
     campaign_seed: u64,
     threads: Option<usize>,
+    lanes: Option<usize>,
 ) -> Campaign {
-    let campaign = Campaign::new(platform, runs).with_campaign_seed(campaign_seed);
-    match threads {
-        Some(threads) => campaign.with_threads(threads),
-        None => campaign,
+    let mut campaign = Campaign::new(platform, runs).with_campaign_seed(campaign_seed);
+    if let Some(threads) = threads {
+        campaign = campaign.with_threads(threads);
     }
+    if let Some(lanes) = lanes {
+        campaign = campaign.with_lanes(lanes);
+    }
+    campaign
 }
 
 /// Runs an MBPTA measurement campaign for `workload` with the given L1
@@ -47,9 +52,17 @@ pub fn measure(
     runs: usize,
     campaign_seed: u64,
     threads: Option<usize>,
+    lanes: Option<usize>,
 ) -> Result<ExecutionSample, ConfigError> {
     let trace = workload.packed_trace(&MemoryLayout::default());
-    measure_source(&trace, platform_with_l1(l1_placement), runs, campaign_seed, threads)
+    measure_source(
+        &trace,
+        platform_with_l1(l1_placement),
+        runs,
+        campaign_seed,
+        threads,
+        lanes,
+    )
 }
 
 /// Runs an MBPTA measurement campaign for an already-generated event
@@ -64,11 +77,12 @@ pub fn measure_source<S>(
     runs: usize,
     campaign_seed: u64,
     threads: Option<usize>,
+    lanes: Option<usize>,
 ) -> Result<ExecutionSample, ConfigError>
 where
     S: EventSource + ?Sized,
 {
-    let result = campaign(platform, runs, campaign_seed, threads).run(source)?;
+    let result = campaign(platform, runs, campaign_seed, threads, lanes).run(source)?;
     Ok(ExecutionSample::from_cycles_iter(result.cycles_iter()))
 }
 
@@ -87,7 +101,7 @@ pub fn measure_deterministic_sweep(
     threads: Option<usize>,
 ) -> Result<ExecutionSample, ConfigError> {
     let sweep = LayoutSweep::new(layouts);
-    let result = campaign(PlatformConfig::leon3_deterministic(), 0, 0, threads)
+    let result = campaign(PlatformConfig::leon3_deterministic(), 0, 0, threads, None)
         .run_layout_sweep_with(sweep.len(), |i| workload.packed_trace(&sweep.layout(i)))?;
     Ok(ExecutionSample::from_cycles_iter(result.cycles_iter()))
 }
@@ -115,7 +129,14 @@ pub fn measure_opts(
     options: &ExperimentOptions,
     campaign_seed: u64,
 ) -> Result<ExecutionSample, ConfigError> {
-    measure(workload, l1_placement, options.runs, campaign_seed, options.threads)
+    measure(
+        workload,
+        l1_placement,
+        options.runs,
+        campaign_seed,
+        options.threads,
+        options.lanes,
+    )
 }
 
 #[cfg(test)]
@@ -126,7 +147,7 @@ mod tests {
     #[test]
     fn measure_produces_requested_runs() {
         let kernel = SyntheticKernel::with_traversals(4 * 1024, 3);
-        let sample = measure(&kernel, PlacementKind::RandomModulo, 12, 1, None).unwrap();
+        let sample = measure(&kernel, PlacementKind::RandomModulo, 12, 1, None, None).unwrap();
         assert_eq!(sample.len(), 12);
         assert!(sample.min() > 0);
     }
@@ -134,11 +155,29 @@ mod tests {
     #[test]
     fn thread_override_does_not_change_the_sample() {
         let kernel = SyntheticKernel::with_traversals(4 * 1024, 3);
-        let default_threads = measure(&kernel, PlacementKind::RandomModulo, 10, 2, None).unwrap();
-        let one_thread = measure(&kernel, PlacementKind::RandomModulo, 10, 2, Some(1)).unwrap();
-        let four_threads = measure(&kernel, PlacementKind::RandomModulo, 10, 2, Some(4)).unwrap();
+        let default_threads =
+            measure(&kernel, PlacementKind::RandomModulo, 10, 2, None, None).unwrap();
+        let one_thread =
+            measure(&kernel, PlacementKind::RandomModulo, 10, 2, Some(1), None).unwrap();
+        let four_threads =
+            measure(&kernel, PlacementKind::RandomModulo, 10, 2, Some(4), None).unwrap();
         assert_eq!(default_threads, one_thread);
         assert_eq!(default_threads, four_threads);
+    }
+
+    #[test]
+    fn lane_override_does_not_change_the_sample() {
+        // --lanes is a throughput knob: any lane count (including the
+        // sequential escape hatch) reproduces the same sample.
+        let kernel = SyntheticKernel::with_traversals(4 * 1024, 3);
+        let default_lanes =
+            measure(&kernel, PlacementKind::RandomModulo, 10, 2, None, None).unwrap();
+        let sequential =
+            measure(&kernel, PlacementKind::RandomModulo, 10, 2, None, Some(1)).unwrap();
+        let five_lanes =
+            measure(&kernel, PlacementKind::RandomModulo, 10, 2, None, Some(5)).unwrap();
+        assert_eq!(default_lanes, sequential);
+        assert_eq!(default_lanes, five_lanes);
     }
 
     #[test]
@@ -180,7 +219,8 @@ mod tests {
         let kernel = SyntheticKernel::with_traversals(4 * 1024, 2);
         let options = crate::cli::ExperimentOptions::default()
             .with_runs(8)
-            .with_threads(2);
+            .with_threads(2)
+            .with_lanes(4);
         let sample = measure_opts(&kernel, PlacementKind::RandomModulo, &options, 3).unwrap();
         assert_eq!(sample.len(), 8);
     }

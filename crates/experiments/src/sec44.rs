@@ -86,7 +86,8 @@ pub fn row_for(
     let trace = benchmark.packed_trace(&MemoryLayout::default());
     let deterministic =
         PlatformConfig::leon3_deterministic().with_replacement(ReplacementKind::Random);
-    let result = runner::campaign(deterministic, 0, 0, options.threads).run_seeds(&trace, &[0])?;
+    let result = runner::campaign(deterministic, 0, 0, options.threads, options.lanes)
+        .run_seeds(&trace, &[0])?;
     Ok(AvgPerformanceRow {
         benchmark,
         rm_mean_cycles: rm_sample.mean(),

@@ -1,0 +1,371 @@
+//! Seed-batched replay: decode the trace once, simulate many seeds.
+//!
+//! An MBPTA campaign replays one immutable trace under ~1,000 placement
+//! seeds.  The sequential protocol pays the trace decode (and its memory
+//! traffic) once *per run*; [`BatchCore`] instead steps `K` independent
+//! *seed lanes* — `K` full cache hierarchies with `K` cycle counters —
+//! through every event as it is decoded, so a campaign of `N` runs streams
+//! the trace `N / K` times instead of `N`.
+//!
+//! Lanes never interact: each lane's hierarchy is reseeded with its own
+//! placement seed and observes exactly the event sequence the sequential
+//! replay would feed it, so batched results are bit-identical to running
+//! the lanes one at a time (pinned by the `batch_equivalence` proptest
+//! suite and the campaign tests).  Per-run statistics are accumulated in
+//! each lane's compact counter block and expanded to [`HierarchyStats`]
+//! once per run, instead of read-modify-writing the per-cache statistics
+//! structs on every event.
+//!
+//! [`crate::run::Campaign`] routes through `BatchCore` by default;
+//! `Campaign::with_lanes(1)` degenerates to the sequential shape (one
+//! hierarchy per decode pass) and serves as the comparison baseline in the
+//! `campaign_throughput` benchmark.
+
+use crate::config::PlatformConfig;
+use crate::hierarchy::{HierarchyStats, MemoryHierarchy, RunCounters};
+use crate::trace::MemEvent;
+use randmod_core::ConfigError;
+
+/// One seed lane: a full cache hierarchy plus its cycle counter and
+/// per-run statistics block.
+#[derive(Debug, Clone)]
+struct Lane {
+    hierarchy: MemoryHierarchy,
+    cycles: u64,
+    counters: RunCounters,
+}
+
+/// A replay engine stepping up to `K` independent placement seeds per
+/// trace decode.
+///
+/// ```
+/// use randmod_sim::{BatchCore, InOrderCore, PlatformConfig, Trace};
+/// use randmod_core::{Address, PlacementKind};
+///
+/// # fn main() -> Result<(), randmod_core::ConfigError> {
+/// let config = PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo);
+/// let mut trace = Trace::new();
+/// for i in 0..256u64 {
+///     trace.load(Address::new(0x1000 + i * 32));
+/// }
+///
+/// // One decode pass, four seeds simulated.
+/// let mut batch = BatchCore::new(&config, 4)?;
+/// let results = batch.execute_batch(&trace, &[1, 2, 3, 4]);
+///
+/// // Bit-identical to the sequential replay of each seed.
+/// let mut sequential = InOrderCore::new(&config)?;
+/// for (seed, (cycles, stats)) in [1u64, 2, 3, 4].into_iter().zip(&results) {
+///     assert_eq!(sequential.execute_isolated(&trace, seed), (*cycles, *stats));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchCore {
+    lanes: Vec<Lane>,
+    /// Offset bits of the IL1 / DL1 geometry, used to detect runs of
+    /// consecutive same-line reads in the decode loop.
+    il1_shift: u32,
+    dl1_shift: u32,
+    /// L1 hit latency, the cost of each run-collapsed repeat read.
+    l1_hit: u64,
+}
+
+impl BatchCore {
+    /// Builds a batched core with `lanes` seed lanes (clamped to at least
+    /// one) on the given platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(config: &PlatformConfig, lanes: usize) -> Result<Self, ConfigError> {
+        let lane = Lane {
+            hierarchy: MemoryHierarchy::new(config)?,
+            cycles: 0,
+            counters: RunCounters::default(),
+        };
+        Ok(BatchCore {
+            lanes: vec![lane; lanes.max(1)],
+            il1_shift: config.il1.geometry.offset_bits(),
+            dl1_shift: config.dl1.geometry.offset_bits(),
+            l1_hit: config.latencies.l1_hit as u64,
+        })
+    }
+
+    /// Number of seed lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Replays `events` once, simulating one run per seed in `seeds` (cold
+    /// caches, fresh placement layout per lane — exactly what
+    /// [`crate::cpu::InOrderCore::execute_isolated`] does per seed).
+    /// Returns `(cycles, stats)` per seed, in seed order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` holds more seeds than there are lanes.
+    pub fn execute_batch<I>(&mut self, events: I, seeds: &[u64]) -> Vec<(u64, HierarchyStats)>
+    where
+        I: IntoIterator<Item = MemEvent>,
+    {
+        assert!(
+            seeds.len() <= self.lanes.len(),
+            "{} seeds exceed the {} configured lanes",
+            seeds.len(),
+            self.lanes.len()
+        );
+        let active = &mut self.lanes[..seeds.len()];
+        for (lane, &seed) in active.iter_mut().zip(seeds) {
+            lane.hierarchy.reseed(seed);
+            lane.cycles = 0;
+            lane.counters = RunCounters::default();
+        }
+        // The hot loop: each event is decoded exactly once, and its kind is
+        // matched exactly once, before fanning out to the lanes.  Runs of
+        // consecutive reads of one cache line (the dominant pattern of
+        // straight-line instruction fetch and sequential data traversal)
+        // are collapsed at decode time: the first access runs in full per
+        // lane; every repeat is then a guaranteed L1 hit in every lane —
+        // the first access left the line resident and a repeat read hit
+        // mutates no cache state (`touch` of the just-touched way is
+        // idempotent for LRU and a no-op otherwise, and reads never dirty
+        // a line) — so each lane just books `repeats` hits and cycles.
+        let mut iter = events.into_iter();
+        let mut pending = iter.next();
+        while let Some(event) = pending {
+            pending = iter.next();
+            match event {
+                MemEvent::InstrFetch(addr) => {
+                    let line = addr.raw() >> self.il1_shift;
+                    let mut repeats = 0u64;
+                    while let Some(MemEvent::InstrFetch(next)) = pending {
+                        if next.raw() >> self.il1_shift != line {
+                            break;
+                        }
+                        repeats += 1;
+                        pending = iter.next();
+                    }
+                    if repeats == 0 {
+                        for lane in active.iter_mut() {
+                            lane.cycles += lane.hierarchy.fetch_lean(addr, &mut lane.counters);
+                        }
+                    } else {
+                        let repeat_cycles = repeats * self.l1_hit;
+                        for lane in active.iter_mut() {
+                            lane.cycles += lane.hierarchy.fetch_lean(addr, &mut lane.counters)
+                                + repeat_cycles;
+                            lane.counters.il1.record_read_hits(repeats);
+                        }
+                    }
+                }
+                MemEvent::Load(addr) => {
+                    let line = addr.raw() >> self.dl1_shift;
+                    let mut repeats = 0u64;
+                    while let Some(MemEvent::Load(next)) = pending {
+                        if next.raw() >> self.dl1_shift != line {
+                            break;
+                        }
+                        repeats += 1;
+                        pending = iter.next();
+                    }
+                    if repeats == 0 {
+                        for lane in active.iter_mut() {
+                            lane.cycles += lane.hierarchy.load_lean(addr, &mut lane.counters);
+                        }
+                    } else {
+                        let repeat_cycles = repeats * self.l1_hit;
+                        for lane in active.iter_mut() {
+                            lane.cycles += lane.hierarchy.load_lean(addr, &mut lane.counters)
+                                + repeat_cycles;
+                            lane.counters.dl1.record_read_hits(repeats);
+                        }
+                    }
+                }
+                MemEvent::Store(addr) => {
+                    for lane in active.iter_mut() {
+                        lane.cycles += lane.hierarchy.store_lean(addr, &mut lane.counters);
+                    }
+                }
+                MemEvent::Compute(cycles) => {
+                    let cycles = cycles as u64;
+                    for lane in active.iter_mut() {
+                        lane.cycles += cycles;
+                    }
+                }
+            }
+        }
+        active
+            .iter()
+            .map(|lane| (lane.cycles, lane.counters.into_stats()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::InOrderCore;
+    use crate::packed::PackedTrace;
+    use crate::trace::{EventSource, Trace};
+    use randmod_core::{Address, PlacementKind, ReplacementKind, WritePolicy};
+
+    fn stress_trace() -> Trace {
+        let mut trace = Trace::new();
+        for repeat in 0..3u64 {
+            for i in 0..800u64 {
+                trace.fetch(Address::new(0x1000 + (i % 24) * 32));
+                trace.load(Address::new(0x10_0000 + i * 32 + repeat));
+                if i % 5 == 0 {
+                    trace.store(Address::new(0x20_0000 + (i % 512) * 32));
+                }
+                if i % 7 == 0 {
+                    trace.compute(2);
+                }
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn batched_replay_matches_sequential_replay() {
+        let seeds = [0u64, 1, 7, 42, 0xDEAD_BEEF];
+        for placement in PlacementKind::ALL {
+            let config = PlatformConfig::leon3().with_l1_placement(placement);
+            let trace = stress_trace();
+            let mut batch = BatchCore::new(&config, seeds.len()).unwrap();
+            let batched = batch.execute_batch(&trace, &seeds);
+            let mut core = InOrderCore::new(&config).unwrap();
+            for (&seed, &(cycles, stats)) in seeds.iter().zip(&batched) {
+                assert_eq!(
+                    core.execute_isolated(&trace, seed),
+                    (cycles, stats),
+                    "lane diverged for seed {seed} under {placement}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_read_runs_match_sequential_replay() {
+        // Exercise the same-line read-run collapse hard: long straight-
+        // line fetch runs stepping 4 bytes through 32-byte lines, loads
+        // striding within lines, runs crossing line boundaries, and runs
+        // interrupted by stores and computes — checked against the true
+        // sequential InOrderCore reference (which has no collapse path),
+        // for hitting *and* missing first accesses and both replacement
+        // behaviours of the L1.
+        let mut trace = Trace::new();
+        for block in 0..400u64 {
+            let code = 0x1000 + (block % 29) * 4;
+            for i in 0..12u64 {
+                trace.fetch(Address::new(code + i * 4));
+            }
+            // Data footprint beyond the 16KB DL1 so run-leading loads miss
+            // regularly.
+            let data = 0x10_0000 + (block % 900) * 40;
+            for i in 0..10u64 {
+                trace.load(Address::new(data + i * 4));
+            }
+            if block % 3 == 0 {
+                trace.store(Address::new(data + 4));
+            }
+            if block % 4 == 0 {
+                trace.compute(2);
+            }
+        }
+        let seeds = [0u64, 5, 77];
+        for placement in PlacementKind::ALL {
+            for replacement in [ReplacementKind::Random, ReplacementKind::Lru] {
+                let config = PlatformConfig::leon3()
+                    .with_l1_placement(placement)
+                    .with_replacement(replacement);
+                let mut batch = BatchCore::new(&config, seeds.len()).unwrap();
+                let batched = batch.execute_batch(&trace, &seeds);
+                let mut core = InOrderCore::new(&config).unwrap();
+                for (&seed, &(cycles, stats)) in seeds.iter().zip(&batched) {
+                    assert_eq!(
+                        core.execute_isolated(&trace, seed),
+                        (cycles, stats),
+                        "collapse diverged for seed {seed} under {placement}/{replacement}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_replay_matches_sequential_for_write_back_l1_and_lru() {
+        // Exercise dirty-line bookkeeping and the LRU full path (where the
+        // MRU fast path must stay disarmed).
+        let mut config = PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo);
+        config.dl1.write_policy = WritePolicy::WriteBack;
+        config.il1.replacement = ReplacementKind::Lru;
+        config.dl1.replacement = ReplacementKind::Lru;
+        config.l2.replacement = ReplacementKind::RoundRobin;
+        let trace = stress_trace();
+        let seeds = [3u64, 9, 12];
+        let mut batch = BatchCore::new(&config, 4).unwrap();
+        let batched = batch.execute_batch(&trace, &seeds);
+        let mut core = InOrderCore::new(&config).unwrap();
+        for (&seed, &(cycles, stats)) in seeds.iter().zip(&batched) {
+            assert_eq!(core.execute_isolated(&trace, seed), (cycles, stats));
+        }
+    }
+
+    #[test]
+    fn packed_and_boxed_sources_are_interchangeable() {
+        let config = PlatformConfig::leon3().with_l1_placement(PlacementKind::HashRandom);
+        let trace = stress_trace();
+        let packed = PackedTrace::from(&trace);
+        let seeds = [5u64, 6];
+        let mut batch = BatchCore::new(&config, 2).unwrap();
+        let from_boxed = batch.execute_batch(EventSource::events(&trace), &seeds);
+        let from_packed = batch.execute_batch(EventSource::events(&packed), &seeds);
+        assert_eq!(from_boxed, from_packed);
+    }
+
+    #[test]
+    fn identical_seeds_in_one_batch_produce_identical_lanes() {
+        let config = PlatformConfig::leon3();
+        let trace = stress_trace();
+        let mut batch = BatchCore::new(&config, 3).unwrap();
+        let results = batch.execute_batch(&trace, &[11, 11, 11]);
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn partial_batches_use_a_lane_prefix() {
+        let config = PlatformConfig::leon3();
+        let trace = stress_trace();
+        let mut batch = BatchCore::new(&config, 8).unwrap();
+        assert_eq!(batch.lane_count(), 8);
+        let results = batch.execute_batch(&trace, &[1, 2]);
+        assert_eq!(results.len(), 2);
+        // A later, different-sized batch reuses the lanes cleanly.
+        let again = batch.execute_batch(&trace, &[1]);
+        assert_eq!(again[0], results[0]);
+    }
+
+    #[test]
+    fn empty_seed_list_is_a_no_op() {
+        let config = PlatformConfig::leon3();
+        let mut batch = BatchCore::new(&config, 2).unwrap();
+        assert!(batch.execute_batch(stress_trace(), &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the")]
+    fn too_many_seeds_panic() {
+        let mut batch = BatchCore::new(&PlatformConfig::leon3(), 2).unwrap();
+        batch.execute_batch(Trace::new(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_lanes_is_clamped_to_one() {
+        let batch = BatchCore::new(&PlatformConfig::leon3(), 0).unwrap();
+        assert_eq!(batch.lane_count(), 1);
+    }
+}

@@ -17,7 +17,7 @@ use crate::config::PlatformConfig;
 use crate::trace::MemEvent;
 use randmod_core::cache::{AccessKind, SetAssocCache};
 use randmod_core::prng::SplitMix64;
-use randmod_core::{Address, CacheStats, ConfigError};
+use randmod_core::{AccessFlags, Address, CacheStats, ConfigError};
 use std::fmt;
 
 /// Per-level statistics of one run.
@@ -37,6 +37,82 @@ impl HierarchyStats {
     /// Total L1 misses (instruction plus data).
     pub fn l1_misses(&self) -> u64 {
         self.il1.misses + self.dl1.misses
+    }
+}
+
+/// Compact per-level counter block of one batched replay lane.
+///
+/// The sequential path read-modify-writes the eight-field [`CacheStats`]
+/// inside every cache on every access.  A batched lane instead accumulates
+/// these few registers-worth of counters (updated with branch-free adds
+/// from the [`AccessFlags`]) and flushes them into a full
+/// [`HierarchyStats`] once per run.  Misses are derived (`accesses -
+/// hits`), and per-run flush counts are always zero because
+/// `execute_isolated` resets statistics after the reseed flush.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct LevelCounters {
+    accesses: u64,
+    hits: u64,
+    stores: u64,
+    fills: u64,
+    evictions: u64,
+    writebacks: u64,
+}
+
+impl LevelCounters {
+    /// Accumulates one access (branch-free).
+    #[inline]
+    fn record(&mut self, flags: AccessFlags, is_write: bool) {
+        self.accesses += 1;
+        self.stores += is_write as u64;
+        self.hits += flags.is_hit() as u64;
+        self.fills += flags.filled() as u64;
+        self.evictions += flags.evicted() as u64;
+        self.writebacks += flags.wrote_back() as u64;
+    }
+
+    /// Accumulates `n` read hits at once (the run-collapsed repeat accesses
+    /// of the batched engine).
+    #[inline]
+    pub(crate) fn record_read_hits(&mut self, n: u64) {
+        self.accesses += n;
+        self.hits += n;
+    }
+
+    /// Expands the counters into the full per-cache statistics block.
+    fn into_stats(self) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses,
+            hits: self.hits,
+            misses: self.accesses - self.hits,
+            fills: self.fills,
+            evictions: self.evictions,
+            writebacks: self.writebacks,
+            stores: self.stores,
+            flushes: 0,
+        }
+    }
+}
+
+/// Per-run counters of one batched replay lane (all three levels plus the
+/// memory-access count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct RunCounters {
+    pub(crate) il1: LevelCounters,
+    pub(crate) dl1: LevelCounters,
+    pub(crate) l2: LevelCounters,
+    pub(crate) memory_accesses: u64,
+}
+
+impl RunCounters {
+    /// Expands the counters into the run's [`HierarchyStats`].
+    pub(crate) fn into_stats(self) -> HierarchyStats {
+        HierarchyStats {
+            il1: self.il1.into_stats(),
+            dl1: self.dl1.into_stats(),
+            l2: self.l2.into_stats(),
+            memory_accesses: self.memory_accesses,
+        }
     }
 }
 
@@ -165,6 +241,64 @@ impl MemoryHierarchy {
                 }
                 lat.store as u64
             }
+        }
+    }
+
+    /// Lean instruction fetch for batched replay: statistics go to the
+    /// lane's counter block instead of the caches, otherwise identical to
+    /// [`Self::access`] with [`MemEvent::InstrFetch`].
+    #[inline]
+    pub(crate) fn fetch_lean(&mut self, addr: Address, counters: &mut RunCounters) -> u64 {
+        let lat = self.config.latencies;
+        let flags = self.il1.access_lean(addr, AccessKind::InstructionFetch);
+        counters.il1.record(flags, false);
+        if flags.is_hit() {
+            lat.l1_hit as u64
+        } else {
+            self.fill_from_l2_lean(addr, AccessKind::InstructionFetch, counters) + lat.l1_hit as u64
+        }
+    }
+
+    /// Lean data load for batched replay (see [`Self::fetch_lean`]).
+    #[inline]
+    pub(crate) fn load_lean(&mut self, addr: Address, counters: &mut RunCounters) -> u64 {
+        let lat = self.config.latencies;
+        let flags = self.dl1.access_lean(addr, AccessKind::Load);
+        counters.dl1.record(flags, false);
+        if flags.is_hit() {
+            lat.l1_hit as u64
+        } else {
+            self.fill_from_l2_lean(addr, AccessKind::Load, counters) + lat.l1_hit as u64
+        }
+    }
+
+    /// Lean data store for batched replay (see [`Self::fetch_lean`]).
+    #[inline]
+    pub(crate) fn store_lean(&mut self, addr: Address, counters: &mut RunCounters) -> u64 {
+        let flags = self.dl1.access_lean(addr, AccessKind::Store);
+        counters.dl1.record(flags, true);
+        let l2_flags = self.l2.access_lean(addr, AccessKind::Store);
+        counters.l2.record(l2_flags, true);
+        counters.memory_accesses += l2_flags.is_miss() as u64;
+        self.config.latencies.store as u64
+    }
+
+    /// Lean counterpart of [`Self::fill_from_l2`].
+    #[inline]
+    fn fill_from_l2_lean(
+        &mut self,
+        addr: Address,
+        kind: AccessKind,
+        counters: &mut RunCounters,
+    ) -> u64 {
+        let lat = self.config.latencies;
+        let flags = self.l2.access_lean(addr, kind);
+        counters.l2.record(flags, false);
+        if flags.is_hit() {
+            lat.l2_hit as u64
+        } else {
+            counters.memory_accesses += 1;
+            (lat.l2_hit + lat.memory) as u64
         }
     }
 

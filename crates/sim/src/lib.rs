@@ -19,10 +19,13 @@
 //!   partition + main memory) with per-level statistics.
 //! * [`cpu`] — an in-order single-issue core model that executes a trace on
 //!   top of the hierarchy and accumulates execution cycles.
+//! * [`batch`] — the seed-batched replay engine: decode the trace once and
+//!   step `K` independent seed lanes (hierarchies + cycle counters) per
+//!   event, bit-identical to sequential replay.
 //! * [`run`] — measurement campaigns: run a program repeatedly with a fresh
-//!   placement seed per run (the MBPTA protocol), or sweep memory layouts
-//!   under deterministic placement (the industrial high-water-mark
-//!   protocol).
+//!   placement seed per run (the MBPTA protocol, batched across seeds by
+//!   default), or sweep memory layouts under deterministic placement (the
+//!   industrial high-water-mark protocol).
 //!
 //! ## Quick example
 //!
@@ -49,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod cpu;
 pub mod hierarchy;
@@ -56,6 +60,7 @@ pub mod packed;
 pub mod run;
 pub mod trace;
 
+pub use batch::BatchCore;
 pub use config::{CacheConfig, LatencyConfig, PlatformConfig};
 pub use cpu::InOrderCore;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy};

@@ -4,10 +4,13 @@
 //! times (the paper uses 1,000 runs per benchmark), installing a fresh
 //! placement seed before each run so that every run samples a new random
 //! cache layout.  [`Campaign`] automates this protocol, executing runs in
-//! parallel across threads (each run is independent by construction).  The
-//! program is any [`EventSource`] — a boxed [`Trace`], a packed
+//! parallel across threads *and* in batches of seed lanes within each
+//! thread (each run is independent by construction): every worker owns a
+//! [`crate::batch::BatchCore`] that decodes the shared trace once per group
+//! of [`Campaign::lanes`] seeds instead of once per run.  The program is
+//! any [`EventSource`] — a boxed [`Trace`], a packed
 //! [`crate::packed::PackedTrace`], or a slice of events — shared read-only
-//! across the worker threads and re-iterated once per run.
+//! across the worker threads.
 //!
 //! For the deterministic baseline of Figure 4(b), the execution time does
 //! not vary with a seed but with the *memory layout* of the program; the
@@ -16,6 +19,7 @@
 //! one layout's trace at a time, keeping the sweep's memory footprint
 //! constant) and its collecting adapter [`Campaign::run_layout_sweep`].
 
+use crate::batch::BatchCore;
 use crate::config::PlatformConfig;
 use crate::cpu::InOrderCore;
 use crate::hierarchy::HierarchyStats;
@@ -134,9 +138,14 @@ pub struct Campaign {
     runs: usize,
     campaign_seed: u64,
     threads: usize,
+    lanes: usize,
 }
 
 impl Campaign {
+    /// Default number of seed lanes stepped per trace decode (see
+    /// [`Self::with_lanes`]).
+    pub const DEFAULT_LANES: usize = 8;
+
     /// Creates a campaign of `runs` runs on the given platform.
     pub fn new(config: PlatformConfig, runs: usize) -> Self {
         let threads = std::thread::available_parallelism()
@@ -147,6 +156,7 @@ impl Campaign {
             runs,
             campaign_seed: 0x00C0_FFEE,
             threads,
+            lanes: Self::DEFAULT_LANES,
         }
     }
 
@@ -160,6 +170,25 @@ impl Campaign {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Overrides the number of seed lanes each worker steps per trace
+    /// decode (minimum 1; the default is [`Self::DEFAULT_LANES`]).
+    ///
+    /// Lanes compose with threads: a campaign of `N` runs on `T` threads
+    /// decodes the trace `N / (T * lanes)` times per thread.  Results are
+    /// bit-identical for every `(threads, lanes)` combination;
+    /// `with_lanes(1)` is the sequential escape hatch (one hierarchy per
+    /// decode pass), kept as the comparison baseline of the
+    /// `campaign_throughput` benchmark.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+
+    /// Number of seed lanes per worker.
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// The platform configuration of this campaign.
@@ -203,7 +232,9 @@ impl Campaign {
     }
 
     /// The seed-sweep worker pool; the configuration is already validated
-    /// by the public entry points (exactly once per campaign).
+    /// by the public entry points (exactly once per campaign).  Each worker
+    /// owns one [`BatchCore`] and replays its seed chunk in groups of
+    /// `lanes` seeds per trace decode.
     fn run_seeds_validated<S>(&self, source: &S, seeds: &[u64]) -> Result<CampaignResult, ConfigError>
     where
         S: EventSource + ?Sized,
@@ -214,17 +245,20 @@ impl Campaign {
         let threads = self.threads.min(seeds.len()).max(1);
         let chunk_size = seeds.len().div_ceil(threads);
         let config = self.config;
+        let lanes = self.lanes;
         let mut results: Vec<Vec<RunResult>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = seeds
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move || -> Result<Vec<RunResult>, ConfigError> {
-                        let mut core = InOrderCore::new(&config)?;
+                        let mut core = BatchCore::new(&config, lanes.min(chunk.len()))?;
                         let mut out = Vec::with_capacity(chunk.len());
-                        for &seed in chunk {
-                            let (cycles, stats) = core.execute_isolated(source.events(), seed);
-                            out.push(RunResult { seed, cycles, stats });
+                        for group in chunk.chunks(core.lane_count()) {
+                            let lane_results = core.execute_batch(source.events(), group);
+                            for (&seed, (cycles, stats)) in group.iter().zip(lane_results) {
+                                out.push(RunResult { seed, cycles, stats });
+                            }
                         }
                         Ok(out)
                     })
@@ -369,6 +403,48 @@ mod tests {
             .run(&trace)
             .unwrap();
         assert_eq!(single.cycles(), multi.cycles());
+    }
+
+    #[test]
+    fn lanes_and_threads_do_not_change_results() {
+        // The full grid of the batching knobs must reproduce one
+        // CampaignResult bit-for-bit (including per-run HierarchyStats) for
+        // a fixed campaign seed.
+        let trace = stress_trace();
+        let reference = Campaign::new(
+            PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo),
+            13,
+        )
+        .with_campaign_seed(99)
+        .with_threads(1)
+        .with_lanes(1)
+        .run(&trace)
+        .unwrap();
+        for lanes in [1usize, 2, 7] {
+            for threads in [1usize, 4] {
+                let result = Campaign::new(
+                    PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo),
+                    13,
+                )
+                .with_campaign_seed(99)
+                .with_threads(threads)
+                .with_lanes(lanes)
+                .run(&trace)
+                .unwrap();
+                assert_eq!(
+                    result, reference,
+                    "lanes={lanes} threads={threads} diverged from the sequential reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_accessors_and_clamping() {
+        let campaign = Campaign::new(PlatformConfig::leon3(), 4);
+        assert_eq!(campaign.lanes(), Campaign::DEFAULT_LANES);
+        assert_eq!(campaign.clone().with_lanes(0).lanes(), 1);
+        assert_eq!(campaign.with_lanes(3).lanes(), 3);
     }
 
     #[test]

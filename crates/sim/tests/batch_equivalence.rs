@@ -1,0 +1,122 @@
+//! Property-based equivalence of batched and sequential replay.
+//!
+//! The seed-batched engine must be *bit-identical* to the sequential
+//! `InOrderCore` path — same cycle counts and same per-level statistics —
+//! for every placement policy, replacement policy and write policy, on
+//! arbitrary traces and seed sets.  These properties pin the tentpole
+//! guarantee of the data-oriented replay engine.
+
+use proptest::prelude::*;
+use randmod_core::{Address, PlacementKind, ReplacementKind, WritePolicy};
+use randmod_sim::trace::MemEvent;
+use randmod_sim::{BatchCore, Campaign, InOrderCore, PackedTrace, PlatformConfig, Trace};
+
+/// Strategy: one trace event biased towards cache-stressing reads, with
+/// addresses spread over a few hundred KB so all three levels see
+/// traffic, plus a repeat count so traces contain genuine same-line read
+/// runs (the batched engine's run-collapse fast path).
+fn event_strategy() -> impl Strategy<Value = (MemEvent, usize)> {
+    (0u64..8, 0u64..16_384, 1usize..6).prop_map(|(kind, slot, repeats)| {
+        let addr = Address::new(0x1_0000 + slot * 32);
+        let event = match kind {
+            0..=2 => MemEvent::InstrFetch(addr),
+            3..=5 => MemEvent::Load(addr),
+            6 => MemEvent::Store(addr),
+            _ => MemEvent::Compute((slot % 7 + 1) as u32),
+        };
+        (event, repeats)
+    })
+}
+
+/// Expands `(event, repeats)` pairs into a trace; repeated reads of one
+/// address are exactly the same-line runs the engine collapses.
+fn expand(events: &[(MemEvent, usize)]) -> Trace {
+    events
+        .iter()
+        .flat_map(|&(event, repeats)| (0..repeats).map(move |_| event))
+        .collect()
+}
+
+/// A platform on the LEON3 geometry with every policy knob set from the
+/// strategy inputs.
+fn platform(
+    placement: PlacementKind,
+    replacement: ReplacementKind,
+    l1_write: WritePolicy,
+) -> PlatformConfig {
+    let mut config = PlatformConfig::leon3()
+        .with_l1_placement(placement)
+        .with_replacement(replacement);
+    config.il1.write_policy = l1_write;
+    config.dl1.write_policy = l1_write;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batched replay reproduces sequential replay exactly — cycles and
+    /// per-run `HierarchyStats` — across random traces, all four placement
+    /// kinds, LRU and Random replacement, and both write policies.
+    #[test]
+    fn batched_replay_is_bit_identical_to_sequential(
+        events in prop::collection::vec(event_strategy(), 1..400),
+        seeds in prop::collection::vec(any::<u64>(), 1..9),
+        placement_index in 0usize..4,
+        replacement_is_lru in any::<bool>(),
+        write_back_l1 in any::<bool>(),
+    ) {
+        let placement = PlacementKind::ALL[placement_index];
+        let replacement = if replacement_is_lru {
+            ReplacementKind::Lru
+        } else {
+            ReplacementKind::Random
+        };
+        let l1_write = if write_back_l1 {
+            WritePolicy::WriteBack
+        } else {
+            WritePolicy::WriteThrough
+        };
+        let config = platform(placement, replacement, l1_write);
+        let trace = expand(&events);
+
+        let mut batch = BatchCore::new(&config, seeds.len()).unwrap();
+        let batched = batch.execute_batch(&trace, &seeds);
+
+        let mut core = InOrderCore::new(&config).unwrap();
+        for (&seed, &(cycles, stats)) in seeds.iter().zip(&batched) {
+            let (seq_cycles, seq_stats) = core.execute_isolated(&trace, seed);
+            prop_assert_eq!((cycles, stats), (seq_cycles, seq_stats));
+        }
+    }
+
+    /// The campaign produces one bit-identical `CampaignResult` for every
+    /// `(lanes, threads)` combination, from packed and boxed sources alike.
+    #[test]
+    fn campaign_result_is_invariant_under_lanes_and_threads(
+        events in prop::collection::vec(event_strategy(), 1..250),
+        campaign_seed in any::<u64>(),
+        placement_index in 0usize..4,
+    ) {
+        let placement = PlacementKind::ALL[placement_index];
+        let config = PlatformConfig::leon3().with_l1_placement(placement);
+        let trace = expand(&events);
+        let packed = PackedTrace::from(&trace);
+        let runs = 10;
+        let reference = Campaign::new(config, runs)
+            .with_campaign_seed(campaign_seed)
+            .with_threads(1)
+            .with_lanes(1)
+            .run(&trace)
+            .unwrap();
+        for (lanes, threads) in [(2usize, 1usize), (7, 1), (3, 4), (16, 2)] {
+            let result = Campaign::new(config, runs)
+                .with_campaign_seed(campaign_seed)
+                .with_threads(threads)
+                .with_lanes(lanes)
+                .run(&packed)
+                .unwrap();
+            prop_assert_eq!(&result, &reference);
+        }
+    }
+}
