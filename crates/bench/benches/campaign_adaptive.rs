@@ -1,0 +1,132 @@
+//! Adaptive vs fixed MBPTA campaigns: the runs-saved record.
+//!
+//! Runs the convergence-driven campaign engine on two opposite workload
+//! shapes and compares it against the fixed-schedule protocol at the same
+//! campaign seed:
+//!
+//! * **low variance** — an EEMBC-like kernel under Random Modulo, whose
+//!   execution time is (near-)constant across seeds: the convergence loop
+//!   stops at its floor instead of paying the full schedule;
+//! * **high variance** — the 20KB synthetic kernel under hRP, the widest
+//!   execution-time spread in the evaluation: convergence genuinely needs
+//!   checkpoints of runs.
+//!
+//! Before timing, the bench asserts the tentpole guarantee — the adaptive
+//! campaign's runs are a bit-identical prefix of `run_seeds` with the same
+//! seeds — and in `--bench` mode prints one `adaptive:` line per scenario
+//! recording runs used vs the fixed schedule (the numbers EXPERIMENTS.md
+//! tracks).
+//!
+//! Environment knobs:
+//!
+//! * `CAMPAIGN_BENCH_QUICK=1` — smoke-test sizes (CI mode).
+//! * `CAMPAIGN_BENCH_RUNS=N` — fixed-schedule size (default 1,000).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use randmod_bench::{bench_kernel, bench_platform};
+use randmod_core::prng::SeedSequence;
+use randmod_core::PlacementKind;
+use randmod_mbpta::ConvergenceCriterion;
+use randmod_sim::{Campaign, PackedTrace, PlatformConfig};
+use randmod_workloads::{EembcBenchmark, MemoryLayout, Workload};
+use std::hint::black_box;
+
+/// The campaign seed used by every configuration (fixed so recorded
+/// numbers are comparable across machines and PRs).
+const CAMPAIGN_SEED: u64 = 0xBEEF;
+
+fn fixed_runs() -> usize {
+    if std::env::var_os("CAMPAIGN_BENCH_QUICK").is_some() {
+        return 40;
+    }
+    std::env::var("CAMPAIGN_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn criterion_for(max_runs: usize) -> ConvergenceCriterion {
+    let quick = std::env::var_os("CAMPAIGN_BENCH_QUICK").is_some();
+    let base = if quick {
+        ConvergenceCriterion::default()
+            .with_min_runs(20)
+            .with_check_interval(10)
+            .with_stable_checkpoints(2)
+    } else {
+        ConvergenceCriterion::default()
+    };
+    base.with_max_runs(max_runs)
+}
+
+fn campaign(platform: PlatformConfig) -> Campaign {
+    Campaign::new(platform, fixed_runs())
+        .with_campaign_seed(CAMPAIGN_SEED)
+        .with_threads(1)
+}
+
+fn campaign_adaptive(c: &mut Criterion) {
+    let scenarios: [(&str, PlatformConfig, PackedTrace); 2] = [
+        (
+            "low-variance-rm",
+            bench_platform(PlacementKind::RandomModulo),
+            EembcBenchmark::A2time.packed_trace(&MemoryLayout::default()),
+        ),
+        (
+            "high-variance-hrp",
+            bench_platform(PlacementKind::HashRandom),
+            bench_kernel().packed_trace(&MemoryLayout::default()),
+        ),
+    ];
+    let runs = fixed_runs();
+    let criterion = criterion_for(runs);
+
+    let mut group = c.benchmark_group("campaign_adaptive");
+    group.sample_size(10);
+
+    for (label, platform, trace) in &scenarios {
+        // Equivalence gate: the adaptive schedule must be a bit-identical
+        // prefix of the fixed seed schedule before its runtime means
+        // anything.
+        let adaptive = campaign(*platform)
+            .run_adaptive(trace, &criterion)
+            .expect("valid platform");
+        let seeds: Vec<u64> = SeedSequence::new(CAMPAIGN_SEED)
+            .take(adaptive.runs_used())
+            .collect();
+        let fixed_prefix = campaign(*platform)
+            .run_seeds(trace, &seeds)
+            .expect("valid platform");
+        assert_eq!(
+            adaptive.result(),
+            &fixed_prefix,
+            "adaptive prefix diverged from run_seeds for {label}"
+        );
+
+        if bench_mode() {
+            println!(
+                "adaptive: {} {} runs vs {} fixed ({} saved, {}, pWCET(1e-12) estimate {:.0})",
+                label,
+                adaptive.runs_used(),
+                runs,
+                runs.saturating_sub(adaptive.runs_used()),
+                if adaptive.converged() { "converged" } else { "run cap reached" },
+                adaptive.pwcet_estimate()
+            );
+        }
+
+        group.bench_with_input(BenchmarkId::new(*label, "adaptive"), trace, |b, trace| {
+            b.iter(|| black_box(campaign(*platform).run_adaptive(trace, &criterion).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new(*label, "fixed"), trace, |b, trace| {
+            b.iter(|| black_box(campaign(*platform).run(trace).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, campaign_adaptive);
+criterion_main!(benches);

@@ -698,6 +698,56 @@ mod tests {
         assert_eq!(cache.resident_lines(), 0);
     }
 
+    /// A cache with the MRU read filter armed on `addr`: Random
+    /// replacement (the only mode where the filter may arm) plus two reads
+    /// of the same line (fill, then the arming hit).
+    fn cache_with_armed_mru(placement: PlacementKind, addr: Address) -> SetAssocCache {
+        let geometry = CacheGeometry::new(8, 2, 32).unwrap();
+        let mut cache = SetAssocCache::with_kinds(
+            geometry,
+            placement,
+            ReplacementKind::Random,
+            WritePolicy::WriteThrough,
+        )
+        .unwrap();
+        cache.reseed(1);
+        assert!(cache.access(addr, AccessKind::Load).is_miss());
+        assert!(cache.access(addr, AccessKind::Load).is_hit());
+        cache
+    }
+
+    #[test]
+    fn flush_disarms_the_mru_read_filter() {
+        // A stale MRU entry surviving the flush would answer the next read
+        // of the same line with a phantom hit on an invalidated cache — a
+        // silent wrong result.  The post-flush read must be a genuine miss
+        // that refills the line.
+        let addr = Address::new(0x40);
+        let mut cache = cache_with_armed_mru(PlacementKind::RandomModulo, addr);
+        cache.flush();
+        let outcome = cache.access(addr, AccessKind::Load);
+        assert!(outcome.is_miss(), "phantom MRU hit after flush");
+        assert!(cache.contains(addr), "the post-flush miss must refill the line");
+    }
+
+    #[test]
+    fn reseed_disarms_the_mru_read_filter() {
+        // Same property across the per-run re-randomisation: after a
+        // reseed (which flushes and moves the line to a new random set)
+        // the previously MRU line must miss, under every placement.
+        for placement in PlacementKind::ALL {
+            let addr = Address::new(0x40);
+            let mut cache = cache_with_armed_mru(placement, addr);
+            let hits_before = cache.stats().hits;
+            cache.reseed(0xFEED_F00D);
+            assert!(
+                cache.access(addr, AccessKind::Load).is_miss(),
+                "phantom MRU hit after reseed under {placement}"
+            );
+            assert_eq!(cache.stats().hits, hits_before);
+        }
+    }
+
     #[test]
     fn working_set_fitting_in_cache_has_no_conflict_misses_with_modulo() {
         // 8 sets x 2 ways: 16 consecutive lines fit exactly; after the cold

@@ -7,17 +7,28 @@ use randmod_experiments::sec44;
 fn main() {
     let options = ExperimentOptions::from_env();
     println!("# Section 4.4: average performance, RM vs modulo placement");
-    println!("# runs = {}, campaign seed = {:#x}", options.runs, options.campaign_seed);
+    if options.adaptive {
+        println!(
+            "# adaptive campaigns (rm_runs column = runs to convergence), campaign seed = {:#x}",
+            options.campaign_seed
+        );
+    } else {
+        println!(
+            "# runs = {}, campaign seed = {:#x}",
+            options.runs, options.campaign_seed
+        );
+    }
     match sec44::generate(&options) {
         Ok(rows) => {
-            println!("benchmark,rm_mean_cycles,modulo_cycles,degradation_percent");
+            println!("benchmark,rm_mean_cycles,modulo_cycles,degradation_percent,rm_runs");
             for row in &rows {
                 println!(
-                    "{},{:.0},{:.0},{:.2}",
+                    "{},{:.0},{:.0},{:.2},{}",
                     row.benchmark.label(),
                     row.rm_mean_cycles,
                     row.modulo_cycles,
-                    row.degradation() * 100.0
+                    row.degradation() * 100.0,
+                    row.rm_runs
                 );
             }
             let summary = sec44::summarize(&rows);
@@ -26,6 +37,14 @@ fn main() {
                 summary.mean_degradation * 100.0,
                 summary.max_degradation * 100.0
             );
+            if options.adaptive {
+                let converged = rows.iter().filter(|r| r.rm_converged == Some(true)).count();
+                let total_runs: usize = rows.iter().map(|r| r.rm_runs).sum();
+                println!(
+                    "# adaptive: {converged}/{} RM campaigns converged, {total_runs} total runs",
+                    rows.len()
+                );
+            }
         }
         Err(err) => {
             eprintln!("error: {err}");

@@ -3,7 +3,7 @@
 use crate::{DEFAULT_CAMPAIGN_SEED, DEFAULT_RUNS, MIN_RUNS};
 
 /// Options common to all experiment binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentOptions {
     /// Number of runs per benchmark (`--runs N`, clamped to at least
     /// [`MIN_RUNS`] so the statistical pipeline stays applicable).
@@ -19,6 +19,16 @@ pub struct ExperimentOptions {
     /// `None` keeps [`randmod_sim::Campaign::DEFAULT_LANES`].  `--lanes 1`
     /// forces the sequential (one hierarchy per trace decode) path.
     pub lanes: Option<usize>,
+    /// Adaptive mode (`--adaptive`): grow each campaign until the pWCET
+    /// estimate converges instead of executing a fixed run count.
+    pub adaptive: bool,
+    /// Convergence tolerance override (`--target-cv X`): the maximum
+    /// relative movement between consecutive pWCET checkpoints that still
+    /// counts as stable; `None` keeps the default of 1%.
+    pub target_cv: Option<f64>,
+    /// Adaptive run cap override (`--max-runs N`); `None` keeps
+    /// [`crate::runner::DEFAULT_ADAPTIVE_MAX_RUNS`].
+    pub max_runs: Option<usize>,
 }
 
 impl Default for ExperimentOptions {
@@ -29,46 +39,110 @@ impl Default for ExperimentOptions {
             quick: false,
             threads: None,
             lanes: None,
+            adaptive: false,
+            target_cv: None,
+            max_runs: None,
         }
+    }
+}
+
+/// Consumes the value following a flag when it parses; otherwise records a
+/// warning naming the flag and the rejected value and leaves the cursor on
+/// the flag (so a following `--other-flag` is still scanned normally).
+fn numeric_value<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    flag: &str,
+    warnings: &mut Vec<String>,
+) -> Option<T> {
+    match args.get(*i + 1) {
+        None => {
+            warnings.push(format!("{flag} expects a value but none was given; flag ignored"));
+            None
+        }
+        Some(raw) => match raw.parse::<T>() {
+            Ok(value) => {
+                *i += 1;
+                Some(value)
+            }
+            Err(_) => {
+                warnings.push(format!("{flag}: invalid value {raw:?}; flag ignored"));
+                None
+            }
+        },
     }
 }
 
 impl ExperimentOptions {
     /// Parses options from an argument iterator (excluding the program
-    /// name).  Unknown arguments are ignored so binaries can add their own.
+    /// name), printing a warning to stderr for every flag whose value was
+    /// rejected.  Unknown arguments are ignored so binaries can add their
+    /// own.
     pub fn parse<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
+        let (options, warnings) = Self::parse_with_warnings(args);
+        for warning in &warnings {
+            eprintln!("warning: {warning}");
+        }
+        options
+    }
+
+    /// [`Self::parse`] returning the rejected-value warnings instead of
+    /// printing them (the testable core of the parser).
+    pub fn parse_with_warnings<I, S>(args: I) -> (Self, Vec<String>)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
         let mut options = ExperimentOptions::default();
+        let mut warnings = Vec::new();
         let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--runs" => {
-                    if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    if let Some(value) = numeric_value(&args, &mut i, "--runs", &mut warnings) {
                         options.runs = value;
-                        i += 1;
                     }
                 }
                 "--seed" => {
-                    if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    if let Some(value) = numeric_value(&args, &mut i, "--seed", &mut warnings) {
                         options.campaign_seed = value;
-                        i += 1;
                     }
                 }
                 "--threads" => {
-                    if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    if let Some(value) = numeric_value(&args, &mut i, "--threads", &mut warnings) {
                         options.threads = Some(value);
-                        i += 1;
                     }
                 }
                 "--lanes" => {
-                    if let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    if let Some(value) = numeric_value(&args, &mut i, "--lanes", &mut warnings) {
                         options.lanes = Some(value);
-                        i += 1;
                     }
+                }
+                "--max-runs" => {
+                    if let Some(value) = numeric_value(&args, &mut i, "--max-runs", &mut warnings) {
+                        options.max_runs = Some(value);
+                    }
+                }
+                "--target-cv" => {
+                    if let Some(value) =
+                        numeric_value::<f64>(&args, &mut i, "--target-cv", &mut warnings)
+                    {
+                        if value > 0.0 && value.is_finite() {
+                            options.target_cv = Some(value);
+                        } else {
+                            warnings.push(format!(
+                                "--target-cv: tolerance must be positive and finite, got {value}; flag ignored"
+                            ));
+                        }
+                    }
+                }
+                "--adaptive" => {
+                    options.adaptive = true;
                 }
                 "--quick" => {
                     options.quick = true;
@@ -81,17 +155,32 @@ impl ExperimentOptions {
         // outcome does not depend on argument order.
         if options.quick {
             options.runs = options.runs.min(40);
+            options.max_runs = options.max_runs.map(|m| m.min(40));
         }
         options.runs = options.runs.max(MIN_RUNS);
-        // A zero thread count would deadlock nothing but makes no sense;
+        // A zero thread / lane / run-cap count makes no sense; warn and
         // treat it as "no override" (Campaign clamps to 1 anyway).
         if options.threads == Some(0) {
+            warnings.push("--threads: 0 is not a valid worker count; using the default".into());
             options.threads = None;
         }
         if options.lanes == Some(0) {
+            warnings.push("--lanes: 0 is not a valid lane count; using the default".into());
             options.lanes = None;
         }
-        options
+        if options.max_runs == Some(0) {
+            warnings.push("--max-runs: 0 is not a valid run cap; using the default".into());
+            options.max_runs = None;
+        }
+        if let Some(max_runs) = options.max_runs {
+            if max_runs < MIN_RUNS {
+                warnings.push(format!(
+                    "--max-runs: {max_runs} is below the statistical floor of {MIN_RUNS} runs; clamped"
+                ));
+                options.max_runs = Some(MIN_RUNS);
+            }
+        }
+        (options, warnings)
     }
 
     /// Parses options from the process arguments.
@@ -123,6 +212,24 @@ impl ExperimentOptions {
         self.lanes = Some(lanes);
         self
     }
+
+    /// Returns the options with adaptive mode enabled.
+    pub fn with_adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self
+    }
+
+    /// Returns the options with an adaptive run-cap override.
+    pub fn with_max_runs(mut self, max_runs: usize) -> Self {
+        self.max_runs = Some(max_runs);
+        self
+    }
+
+    /// Returns the options with a convergence-tolerance override.
+    pub fn with_target_cv(mut self, target_cv: f64) -> Self {
+        self.target_cv = Some(target_cv);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +242,9 @@ mod tests {
         assert_eq!(options, ExperimentOptions::default());
         assert_eq!(options.runs, DEFAULT_RUNS);
         assert_eq!(options.threads, None);
+        assert!(!options.adaptive);
+        assert_eq!(options.target_cv, None);
+        assert_eq!(options.max_runs, None);
     }
 
     #[test]
@@ -156,13 +266,23 @@ mod tests {
     }
 
     #[test]
-    fn malformed_or_zero_thread_counts_are_ignored() {
-        assert_eq!(
-            ExperimentOptions::parse(["--threads", "lots"]).threads,
-            None
-        );
-        assert_eq!(ExperimentOptions::parse(["--threads"]).threads, None);
-        assert_eq!(ExperimentOptions::parse(["--threads", "0"]).threads, None);
+    fn malformed_or_zero_thread_counts_warn_and_are_ignored() {
+        let (options, warnings) =
+            ExperimentOptions::parse_with_warnings(["--threads", "lots"]);
+        assert_eq!(options.threads, None);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("--threads"), "{warnings:?}");
+        assert!(warnings[0].contains("lots"), "{warnings:?}");
+
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--threads"]);
+        assert_eq!(options.threads, None);
+        assert!(warnings[0].contains("--threads"), "{warnings:?}");
+        assert!(warnings[0].contains("expects a value"), "{warnings:?}");
+
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--threads", "0"]);
+        assert_eq!(options.threads, None);
+        assert!(warnings[0].contains("--threads"), "{warnings:?}");
+        assert!(warnings[0].contains('0'), "{warnings:?}");
     }
 
     #[test]
@@ -177,11 +297,76 @@ mod tests {
     }
 
     #[test]
-    fn malformed_or_zero_lane_counts_are_ignored() {
-        assert_eq!(ExperimentOptions::parse(["--lanes", "many"]).lanes, None);
-        assert_eq!(ExperimentOptions::parse(["--lanes"]).lanes, None);
-        assert_eq!(ExperimentOptions::parse(["--lanes", "0"]).lanes, None);
+    fn malformed_or_zero_lane_counts_warn_and_are_ignored() {
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--lanes", "many"]);
+        assert_eq!(options.lanes, None);
+        assert!(warnings[0].contains("--lanes") && warnings[0].contains("many"), "{warnings:?}");
+
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--lanes"]);
+        assert_eq!(options.lanes, None);
+        assert!(warnings[0].contains("expects a value"), "{warnings:?}");
+
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--lanes", "0"]);
+        assert_eq!(options.lanes, None);
+        assert!(warnings[0].contains("--lanes"), "{warnings:?}");
         assert_eq!(ExperimentOptions::default().lanes, None);
+    }
+
+    #[test]
+    fn a_rejected_value_does_not_swallow_the_following_flag() {
+        // The bad value is not consumed as a flag argument, so flags after
+        // it still apply.
+        let (options, warnings) =
+            ExperimentOptions::parse_with_warnings(["--runs", "notanumber", "--quick"]);
+        assert_eq!(options.runs, 40); // quick cap over the default
+        assert!(options.quick);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("notanumber"), "{warnings:?}");
+    }
+
+    #[test]
+    fn each_flag_warns_on_a_malformed_value() {
+        for flag in ["--runs", "--seed", "--threads", "--lanes", "--max-runs", "--target-cv"] {
+            let (options, warnings) = ExperimentOptions::parse_with_warnings([flag, "bogus"]);
+            assert_eq!(options, ExperimentOptions::default(), "{flag} changed the options");
+            assert_eq!(warnings.len(), 1, "{flag}: {warnings:?}");
+            assert!(warnings[0].contains(flag), "{warnings:?}");
+            assert!(warnings[0].contains("bogus"), "{warnings:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_flags_are_parsed() {
+        let options =
+            ExperimentOptions::parse(["--adaptive", "--target-cv", "0.05", "--max-runs", "500"]);
+        assert!(options.adaptive);
+        assert_eq!(options.target_cv, Some(0.05));
+        assert_eq!(options.max_runs, Some(500));
+    }
+
+    #[test]
+    fn malformed_adaptive_values_warn_and_are_ignored() {
+        let (options, warnings) =
+            ExperimentOptions::parse_with_warnings(["--target-cv", "-0.5"]);
+        assert_eq!(options.target_cv, None);
+        assert!(warnings[0].contains("--target-cv"), "{warnings:?}");
+
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--max-runs", "0"]);
+        assert_eq!(options.max_runs, None);
+        assert!(warnings[0].contains("--max-runs"), "{warnings:?}");
+
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--max-runs", "5"]);
+        assert_eq!(options.max_runs, Some(MIN_RUNS));
+        assert!(warnings[0].contains("statistical floor"), "{warnings:?}");
+    }
+
+    #[test]
+    fn quick_caps_the_adaptive_run_cap() {
+        let options = ExperimentOptions::parse(["--quick", "--adaptive", "--max-runs", "500"]);
+        assert_eq!(options.max_runs, Some(40));
+        // Order independent.
+        let options = ExperimentOptions::parse(["--max-runs", "500", "--adaptive", "--quick"]);
+        assert_eq!(options.max_runs, Some(40));
     }
 
     #[test]
@@ -189,10 +374,16 @@ mod tests {
         let options = ExperimentOptions::default()
             .with_runs(77)
             .with_campaign_seed(9)
-            .with_threads(3);
+            .with_threads(3)
+            .with_adaptive()
+            .with_max_runs(400)
+            .with_target_cv(0.02);
         assert_eq!(options.runs, 77);
         assert_eq!(options.campaign_seed, 9);
         assert_eq!(options.threads, Some(3));
+        assert!(options.adaptive);
+        assert_eq!(options.max_runs, Some(400));
+        assert_eq!(options.target_cv, Some(0.02));
     }
 
     #[test]
@@ -211,9 +402,10 @@ mod tests {
     }
 
     #[test]
-    fn unknown_and_malformed_arguments_are_ignored() {
-        let options = ExperimentOptions::parse(["--sweep", "--runs", "notanumber"]);
-        assert_eq!(options.runs, DEFAULT_RUNS);
+    fn unknown_arguments_are_ignored_without_warnings() {
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--sweep", "--large"]);
+        assert_eq!(options, ExperimentOptions::default());
+        assert!(warnings.is_empty(), "{warnings:?}");
     }
 
     #[test]

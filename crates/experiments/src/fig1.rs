@@ -8,7 +8,7 @@
 //! evaluation uses.
 
 use crate::cli::ExperimentOptions;
-use crate::runner;
+use crate::runner::{self, AdaptiveSummary};
 use randmod_core::{ConfigError, PlacementKind};
 use randmod_mbpta::PwcetCurve;
 use randmod_workloads::SyntheticKernel;
@@ -32,23 +32,30 @@ pub struct Fig1Result {
     pub cutoff_probability: f64,
     /// The pWCET estimate at the cutoff.
     pub pwcet_at_cutoff: f64,
+    /// Number of runs behind the curve (`--runs`, or the runs-to-
+    /// convergence count under `--adaptive`).
+    pub runs: usize,
+    /// The convergence record of the campaign (`None` without
+    /// `--adaptive`).
+    pub adaptive: Option<AdaptiveSummary>,
 }
 
-/// Generates the Figure 1 curve from `options.runs` runs of the 20KB
-/// synthetic kernel with Random Modulo L1 caches.
+/// Generates the Figure 1 curve from a campaign of the 20KB synthetic
+/// kernel with Random Modulo L1 caches: `options.runs` fixed runs, or a
+/// convergence-driven schedule under `--adaptive`.
 ///
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the platform configuration is invalid.
 pub fn generate(options: &ExperimentOptions) -> Result<Fig1Result, ConfigError> {
     let kernel = SyntheticKernel::fits_l2();
-    let sample = runner::measure_opts(
+    let measurement = runner::measure_campaign(
         &kernel,
         PlacementKind::RandomModulo,
         options,
         options.campaign_seed,
     )?;
-    let report = runner::analyze(&sample);
+    let report = runner::analyze_measurement(&measurement);
     let cutoff_probability = 1e-15;
     let points = report
         .curve
@@ -63,6 +70,8 @@ pub fn generate(options: &ExperimentOptions) -> Result<Fig1Result, ConfigError> 
         points,
         cutoff_probability,
         pwcet_at_cutoff: report.pwcet_at(cutoff_probability),
+        runs: measurement.sample.len(),
+        adaptive: measurement.adaptive,
     })
 }
 
@@ -75,6 +84,8 @@ mod tests {
         let options = ExperimentOptions::default().with_runs(120).with_campaign_seed(11);
         let result = generate(&options).unwrap();
         assert_eq!(result.points.len(), 18);
+        assert_eq!(result.runs, 120);
+        assert!(result.adaptive.is_none());
         for pair in result.points.windows(2) {
             assert!(pair[0].exceedance_probability > pair[1].exceedance_probability);
             assert!(pair[0].execution_time <= pair[1].execution_time);
@@ -86,5 +97,24 @@ mod tests {
             .find(|p| (p.exceedance_probability - 1e-15).abs() < 1e-20)
             .unwrap();
         assert!((at_cutoff.execution_time - result.pwcet_at_cutoff).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adaptive_curve_records_the_convergence_outcome() {
+        let options = ExperimentOptions::default()
+            .with_campaign_seed(11)
+            .with_adaptive()
+            .with_max_runs(250)
+            .with_target_cv(0.05);
+        let result = generate(&options).unwrap();
+        let summary = result.adaptive.as_ref().expect("adaptive record missing");
+        assert_eq!(summary.runs_used, result.runs);
+        assert!(result.runs <= 250);
+        assert!(summary.pwcet_estimate > 0.0);
+        // The curve itself is still well-formed.
+        assert_eq!(result.points.len(), 18);
+        for pair in result.points.windows(2) {
+            assert!(pair[0].execution_time <= pair[1].execution_time);
+        }
     }
 }

@@ -22,6 +22,12 @@ pub struct AvgPerformanceRow {
     pub rm_mean_cycles: f64,
     /// Execution time with modulo placement and LRU replacement, cycles.
     pub modulo_cycles: f64,
+    /// Number of RM runs behind the mean (`--runs`, or the benchmark's
+    /// runs-to-convergence count under `--adaptive`).
+    pub rm_runs: usize,
+    /// Whether the adaptive RM campaign converged before its run cap
+    /// (`None` without `--adaptive`).
+    pub rm_converged: Option<bool>,
 }
 
 impl AvgPerformanceRow {
@@ -73,12 +79,13 @@ pub fn row_for(
     benchmark: EembcBenchmark,
     options: &ExperimentOptions,
 ) -> Result<AvgPerformanceRow, ConfigError> {
-    let rm_sample = runner::measure_opts(
+    let rm_measurement = runner::measure_campaign(
         &benchmark,
         PlacementKind::RandomModulo,
         options,
         options.campaign_seed,
     )?;
+    let rm_sample = &rm_measurement.sample;
     // The modulo baseline keeps random replacement (as the LEON-family
     // caches the paper builds on do), so the comparison isolates the effect
     // of the placement function; one run suffices per layout since modulo
@@ -92,6 +99,8 @@ pub fn row_for(
         benchmark,
         rm_mean_cycles: rm_sample.mean(),
         modulo_cycles: result.runs()[0].cycles as f64,
+        rm_runs: rm_sample.len(),
+        rm_converged: rm_measurement.adaptive.as_ref().map(|a| a.converged),
     })
 }
 
@@ -115,6 +124,8 @@ mod tests {
     fn rm_average_performance_is_close_to_modulo_for_a_small_kernel() {
         let options = ExperimentOptions::default().with_runs(60).with_campaign_seed(4);
         let row = row_for(EembcBenchmark::Rspeed, &options).unwrap();
+        assert_eq!(row.rm_runs, 60);
+        assert_eq!(row.rm_converged, None);
         assert!(row.rm_mean_cycles > 0.0 && row.modulo_cycles > 0.0);
         // rspeed fits comfortably in the L1: RM should be within ~15% of
         // modulo even with a reduced run count.
@@ -125,17 +136,32 @@ mod tests {
     }
 
     #[test]
+    fn an_adaptive_row_records_the_convergence_outcome() {
+        let options = ExperimentOptions::default()
+            .with_campaign_seed(4)
+            .with_adaptive()
+            .with_max_runs(120);
+        let row = row_for(EembcBenchmark::Rspeed, &options).unwrap();
+        assert_eq!(row.rm_converged, Some(true));
+        assert!(row.rm_runs <= 120);
+    }
+
+    #[test]
     fn summary_mean_and_max() {
         let rows = vec![
             AvgPerformanceRow {
                 benchmark: EembcBenchmark::A2time,
                 rm_mean_cycles: 102.0,
                 modulo_cycles: 100.0,
+                rm_runs: 60,
+                rm_converged: None,
             },
             AvgPerformanceRow {
                 benchmark: EembcBenchmark::Matrix,
                 rm_mean_cycles: 108.0,
                 modulo_cycles: 100.0,
+                rm_runs: 60,
+                rm_converged: None,
             },
         ];
         let summary = summarize(&rows);

@@ -27,8 +27,12 @@ pub struct Table2Row {
     pub et_p_value: f64,
     /// Whether both Table-2 tests passed.
     pub passed: bool,
-    /// Number of runs behind the row.
+    /// Number of runs behind the row (`--runs`, or the benchmark's
+    /// runs-to-convergence count under `--adaptive`).
     pub runs: usize,
+    /// Whether the adaptive campaign converged before its run cap
+    /// (`None` without `--adaptive`).
+    pub converged: Option<bool>,
 }
 
 impl fmt::Display for Table2Row {
@@ -67,20 +71,21 @@ pub fn row_for(
     benchmark: EembcBenchmark,
     options: &ExperimentOptions,
 ) -> Result<Table2Row, ConfigError> {
-    let sample = runner::measure_opts(
+    let measurement = runner::measure_campaign(
         &benchmark,
         PlacementKind::RandomModulo,
         options,
         options.campaign_seed ^ benchmark.initials().as_bytes()[0] as u64,
     )?;
-    let report = runner::analyze(&sample);
+    let report = runner::analyze_measurement(&measurement);
     Ok(Table2Row {
         benchmark,
         ww_statistic: report.ww.statistic,
         ks_p_value: report.ks.p_value,
         et_p_value: report.et.p_value,
         passed: report.ww.passed() && report.ks.passed(),
-        runs: sample.len(),
+        runs: measurement.sample.len(),
+        converged: measurement.adaptive.map(|a| a.converged),
     })
 }
 
@@ -95,8 +100,26 @@ mod tests {
         let options = ExperimentOptions::default().with_runs(150).with_campaign_seed(3);
         let row = row_for(EembcBenchmark::A2time, &options).unwrap();
         assert_eq!(row.runs, 150);
+        assert_eq!(row.converged, None);
         assert!(row.ww_statistic.is_finite());
         assert!(row.passed, "{row}");
         assert!(row.to_string().contains("A2"));
+    }
+
+    #[test]
+    fn an_adaptive_row_records_runs_to_convergence() {
+        // A low-variance benchmark under RM converges at the criterion
+        // floor instead of paying the full fixed-run schedule.
+        let options = ExperimentOptions::default()
+            .with_campaign_seed(3)
+            .with_adaptive()
+            .with_max_runs(300);
+        let row = row_for(EembcBenchmark::A2time, &options).unwrap();
+        assert_eq!(row.converged, Some(true));
+        assert!(
+            row.runs < 300,
+            "expected convergence below the cap, used {} runs",
+            row.runs
+        );
     }
 }

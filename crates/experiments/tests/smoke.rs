@@ -78,10 +78,24 @@ fn table2_iid_tests_quick() {
     let stdout = run(env!("CARGO_BIN_EXE_table2_iid_tests"), &["--quick"]);
     assert_csv_rows(
         &stdout,
-        "benchmark,ww_statistic,ks_p_value,et_p_value,passed",
-        5,
+        "benchmark,ww_statistic,ks_p_value,et_p_value,passed,runs",
+        6,
         11,
     );
+}
+
+#[test]
+fn table2_adaptive_quick() {
+    // The convergence-driven protocol must cover all 11 benchmarks and
+    // report the per-benchmark runs-to-convergence summary.
+    let stdout = run(env!("CARGO_BIN_EXE_table2_iid_tests"), &["--adaptive", "--quick"]);
+    assert_csv_rows(
+        &stdout,
+        "benchmark,ww_statistic,ks_p_value,et_p_value,passed,runs",
+        6,
+        11,
+    );
+    assert!(stdout.contains("# adaptive:"), "missing adaptive summary:\n{stdout}");
 }
 
 #[test]
@@ -157,11 +171,45 @@ fn sec44_avg_performance_quick() {
     let stdout = run(env!("CARGO_BIN_EXE_sec44_avg_performance"), &["--quick"]);
     assert_csv_rows(
         &stdout,
-        "benchmark,rm_mean_cycles,modulo_cycles,degradation_percent",
-        4,
+        "benchmark,rm_mean_cycles,modulo_cycles,degradation_percent,rm_runs",
+        5,
         11,
     );
     assert!(stdout.contains("# degradation:"), "missing summary line");
+}
+
+#[test]
+fn fig1_adaptive_quick() {
+    let stdout = run(
+        env!("CARGO_BIN_EXE_fig1_pwcet_curve"),
+        &["--adaptive", "--quick"],
+    );
+    assert_csv_rows(
+        &stdout,
+        "exceedance_probability,execution_time_cycles",
+        2,
+        10,
+    );
+    assert!(
+        stdout.contains("# adaptive:"),
+        "missing convergence record:\n{stdout}"
+    );
+}
+
+#[test]
+fn invalid_flag_values_warn_on_stderr_and_do_not_abort() {
+    // `--threads lots` is rejected with a warning naming the flag and the
+    // value, and the experiment still runs with the default.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_fig1_pwcet_curve"))
+        .args(["--quick", "--threads", "lots"])
+        .output()
+        .expect("failed to spawn fig1_pwcet_curve");
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--threads") && stderr.contains("lots"),
+        "missing rejected-value warning on stderr:\n{stderr}"
+    );
 }
 
 #[test]

@@ -149,9 +149,14 @@ impl MbptaAnalysis {
         let spread = sample.max().saturating_sub(sample.min());
         let degenerate = spread == 0 || sample.std_dev() == 0.0;
 
-        let ww = if degenerate {
-            // A constant sample is trivially independent; the runs test is
-            // undefined (no observation differs from the median).
+        // The runs test dichotomises around the median and drops ties; it
+        // is undefined (not merely degenerate) whenever fewer than two
+        // observations differ from the median — e.g. a constant sample
+        // with a single outlier — so those samples take the trivial
+        // "independent" verdict instead of panicking inside the test.
+        let median = sample.median();
+        let distinct_from_median = sample.values().iter().filter(|&&v| v != median).count();
+        let ww = if degenerate || distinct_from_median < 2 {
             WwTest {
                 statistic: 0.0,
                 runs: 1,
@@ -171,11 +176,9 @@ impl MbptaAnalysis {
         };
         let et = iid::exponential_tail(sample, self.config.tail_fraction);
 
-        let curve = if degenerate || !self.has_enough_distinct_maxima(sample) {
-            PwcetCurve::fit_degenerate(sample)
-        } else {
-            PwcetCurve::fit(sample, self.config.block_size)
-        };
+        // `fit` is total: constant samples and all-identical block maxima
+        // fall back to the degenerate curve internally.
+        let curve = PwcetCurve::fit(sample, self.config.block_size);
         let hwm = HighWaterMark::from_sample(sample);
         let pwcet_estimates = self
             .config
@@ -194,14 +197,6 @@ impl MbptaAnalysis {
         }
     }
 
-    fn has_enough_distinct_maxima(&self, sample: &ExecutionSample) -> bool {
-        let maxima = crate::evt::block_maxima(sample, self.config.block_size);
-        if maxima.len() < 2 {
-            return false;
-        }
-        let first = maxima[0];
-        maxima.iter().any(|&m| m != first)
-    }
 }
 
 #[cfg(test)]
@@ -251,6 +246,19 @@ mod tests {
         let values: Vec<u64> = (0..300).map(|i| 1000 + (i % 2)).collect();
         let report = MbptaAnalysis::new(MbptaConfig::default()).analyze(&ExecutionSample::from_cycles(&values));
         assert!(report.pwcet_at(1e-15) >= 1001.0);
+    }
+
+    #[test]
+    fn single_outlier_sample_does_not_panic() {
+        // One observation distinct from the median: the runs test is
+        // undefined (it would panic after dropping ties), so the analysis
+        // must take the trivial-independence branch.
+        let mut values = vec![50_000u64; 200];
+        values[137] = 50_001;
+        let report =
+            MbptaAnalysis::new(MbptaConfig::default()).analyze(&ExecutionSample::from_cycles(&values));
+        assert!(report.ww.passed());
+        assert!(report.pwcet_at(1e-15) >= 50_001.0);
     }
 
     #[test]

@@ -88,22 +88,38 @@ impl Gumbel {
         self.location - self.scale * (-ln_p).ln()
     }
 
+    /// Fits a Gumbel distribution by the method of moments, or `None` when
+    /// the fit is undefined: fewer than two values, zero variance (all
+    /// values identical, so the scale would be zero), or moments that
+    /// overflow to non-finite numbers.  This is the total entry point the
+    /// adaptive refit loop uses; callers wanting the degenerate fallback
+    /// should go through [`PwcetCurve::from_block_maxima`].
+    pub fn try_fit_moments(values: &[f64]) -> Option<Self> {
+        if values.len() < 2 {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+        let std_dev = var.sqrt();
+        let scale = std_dev * 6.0_f64.sqrt() / PI;
+        let location = mean - EULER_GAMMA * scale;
+        if !scale.is_finite() || scale <= 0.0 || !location.is_finite() {
+            return None;
+        }
+        Some(Gumbel { location, scale })
+    }
+
     /// Fits a Gumbel distribution by the method of moments.
     ///
     /// # Panics
     ///
     /// Panics if fewer than two distinct values are provided (the scale
-    /// would be zero).
+    /// would be zero); [`Self::try_fit_moments`] is the non-panicking
+    /// variant.
     pub fn fit_moments(values: &[f64]) -> Self {
         assert!(values.len() >= 2, "fitting needs at least two values");
-        let n = values.len() as f64;
-        let mean = values.iter().sum::<f64>() / n;
-        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
-        let std_dev = var.sqrt();
-        assert!(std_dev > 0.0, "fitting needs at least two distinct values");
-        let scale = std_dev * 6.0_f64.sqrt() / PI;
-        let location = mean - EULER_GAMMA * scale;
-        Gumbel { location, scale }
+        Self::try_fit_moments(values).expect("fitting needs at least two distinct values")
     }
 }
 
@@ -155,20 +171,40 @@ pub struct PwcetCurve {
 
 impl PwcetCurve {
     /// Fits a pWCET curve to a sample using block maxima of `block_size`
-    /// observations.
+    /// observations.  Samples whose block maxima leave nothing for EVT to
+    /// model — fewer than two complete blocks, or maxima that are all
+    /// identical — fall back to the degenerate curve (pWCET = observed
+    /// maximum at every probability) instead of panicking, so this entry
+    /// point is total for any sample and any non-zero block size.
     ///
     /// # Panics
     ///
-    /// Panics if the sample yields fewer than two complete blocks or the
-    /// block maxima are all identical (see [`PwcetCurve::fit_degenerate`]
-    /// for how constant samples are handled by the full analysis).
+    /// Panics if `block_size` is zero.
     pub fn fit(sample: &ExecutionSample, block_size: usize) -> Self {
-        let maxima = block_maxima(sample, block_size);
-        let gumbel = Gumbel::fit_moments(&maxima);
-        PwcetCurve {
-            gumbel,
+        Self::from_block_maxima(
+            &block_maxima(sample, block_size),
             block_size,
-            observed_max: sample.max() as f64,
+            sample.max() as f64,
+        )
+    }
+
+    /// Builds a curve from pre-extracted block maxima (the incremental
+    /// refit path of [`crate::online::ConvergenceTracker`]): fits a Gumbel
+    /// to `maxima`, or falls back to the degenerate curve at
+    /// `observed_max` when the fit is undefined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn from_block_maxima(maxima: &[f64], block_size: usize, observed_max: f64) -> Self {
+        assert!(block_size > 0, "block size must be non-zero");
+        match Gumbel::try_fit_moments(maxima) {
+            Some(gumbel) => PwcetCurve {
+                gumbel,
+                block_size,
+                observed_max,
+            },
+            None => Self::degenerate_at(observed_max),
         }
     }
 
@@ -177,7 +213,11 @@ impl PwcetCurve {
     /// probability.  Used by the full analysis as a fallback, since a zero
     /// sample variance leaves nothing for EVT to model.
     pub fn fit_degenerate(sample: &ExecutionSample) -> Self {
-        let max = sample.max() as f64;
+        Self::degenerate_at(sample.max() as f64)
+    }
+
+    /// The degenerate curve pinned at `max`.
+    fn degenerate_at(max: f64) -> Self {
         PwcetCurve {
             gumbel: Gumbel::new(max, f64::MIN_POSITIVE.max(1e-9)),
             block_size: 1,
@@ -319,6 +359,46 @@ mod tests {
     #[should_panic(expected = "distinct values")]
     fn fit_constant_values_panics() {
         Gumbel::fit_moments(&[5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn try_fit_moments_is_total() {
+        assert!(Gumbel::try_fit_moments(&[]).is_none());
+        assert!(Gumbel::try_fit_moments(&[3.0]).is_none());
+        assert!(Gumbel::try_fit_moments(&[5.0, 5.0, 5.0]).is_none());
+        assert!(Gumbel::try_fit_moments(&[1.0, f64::INFINITY]).is_none());
+        assert!(Gumbel::try_fit_moments(&[1.0, f64::NAN]).is_none());
+        let fitted = Gumbel::try_fit_moments(&[10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(
+            Gumbel::fit_moments(&[10.0, 20.0, 30.0]),
+            fitted,
+            "try_fit_moments and fit_moments must agree on well-posed inputs"
+        );
+    }
+
+    #[test]
+    fn fit_falls_back_to_degenerate_on_constant_samples() {
+        // Direct calls used to panic inside Gumbel::fit_moments; a constant
+        // sample now yields the degenerate curve (pWCET = observed max).
+        let constant = ExecutionSample::from_cycles(&[9_999; 120]);
+        let curve = PwcetCurve::fit(&constant, 25);
+        assert_eq!(curve, PwcetCurve::fit_degenerate(&constant));
+        assert!((curve.pwcet(1e-15) - 9_999.0).abs() < 1e-3);
+        // Too few observations for even two blocks: same fallback.
+        let short = ExecutionSample::from_cycles(&[1, 2, 3]);
+        let curve = PwcetCurve::fit(&short, 25);
+        assert_eq!(curve.block_size(), 1);
+        assert!((curve.pwcet(1e-12) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_block_maxima_matches_fit_on_well_posed_samples() {
+        let times: Vec<u64> = (0..500).map(|i| 40_000 + (i * 7919) % 6_000).collect();
+        let sample = ExecutionSample::from_cycles(&times);
+        let direct = PwcetCurve::fit(&sample, 25);
+        let via_maxima =
+            PwcetCurve::from_block_maxima(&block_maxima(&sample, 25), 25, sample.max() as f64);
+        assert_eq!(direct, via_maxima);
     }
 
     #[test]

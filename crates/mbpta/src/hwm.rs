@@ -60,12 +60,30 @@ impl HighWaterMark {
     /// The WCET bound obtained by adding an engineering margin
     /// (e.g. `0.20` for +20%).
     ///
+    /// A WCET bound must never shrink, so every lossy step rounds up: the
+    /// `u64 -> f64` conversion of the high-water mark (exact only below
+    /// 2⁵³ cycles) is bumped to the next representable value when it
+    /// rounds down, and the margin is charged in whole cycles, rounded up.
+    /// The result is therefore always at least the observed high-water
+    /// mark, for every cycle count.
+    ///
     /// # Panics
     ///
-    /// Panics if the margin is negative.
+    /// Panics if the margin is negative or not finite.
     pub fn with_margin(&self, margin: f64) -> f64 {
-        assert!(margin >= 0.0, "the engineering margin cannot be negative");
-        self.value as f64 * (1.0 + margin)
+        assert!(
+            margin >= 0.0 && margin.is_finite(),
+            "the engineering margin cannot be negative"
+        );
+        let nearest = self.value as f64;
+        // `as` rounds to nearest: detect a round-down (possible from 2^53
+        // cycles up) and take the next representable value instead.
+        let base = if (nearest as u64) < self.value {
+            f64::from_bits(nearest.to_bits() + 1)
+        } else {
+            nearest
+        };
+        base + (base * margin).ceil()
     }
 
     /// The WCET bound with the customary 20% margin.
@@ -122,6 +140,31 @@ mod tests {
     #[should_panic(expected = "cannot be negative")]
     fn negative_margin_panics() {
         HighWaterMark::new(1000, 1).with_margin(-0.1);
+    }
+
+    #[test]
+    fn margin_rounds_up_to_whole_cycles() {
+        // 999 * 0.1 = 99.9 cycles of margin: the bound charges 100.
+        assert_eq!(HighWaterMark::new(999, 1).with_margin(0.1), 1099.0);
+        assert_eq!(HighWaterMark::new(3, 1).with_margin(0.2), 4.0);
+    }
+
+    #[test]
+    fn bound_never_shrinks_below_the_hwm_near_2_pow_53() {
+        // (2^53 + 1) is the first u64 the f64 conversion rounds *down*;
+        // the old `value as f64 * (1 + m)` returned a bound below the
+        // observed high-water mark for margin 0.
+        let value = (1u64 << 53) + 1;
+        assert!(((value as f64) as u64) < value, "test premise: conversion rounds down");
+        for margin in [0.0, 0.1, 0.2, 1.0] {
+            let bound = HighWaterMark::new(value, 1).with_margin(margin);
+            assert!(
+                bound as u64 >= value,
+                "bound {bound} shrank below hwm {value} at margin {margin}"
+            );
+        }
+        // Exactly representable values stay exact.
+        assert_eq!(HighWaterMark::new(1u64 << 53, 1).with_margin(0.0), (1u64 << 53) as f64);
     }
 
     #[test]

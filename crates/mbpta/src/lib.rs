@@ -19,6 +19,10 @@
 //!   the paper).
 //! * [`analysis`] — the end-to-end MBPTA procedure producing an
 //!   [`analysis::MbptaReport`].
+//! * [`online`] — incremental analysis for adaptive campaigns: streaming
+//!   moments ([`online::OnlineSample`]), incremental block maxima and the
+//!   convergence stopping rule ([`online::ConvergenceTracker`]) that
+//!   decides when an adaptive campaign has collected enough runs.
 //! * [`hwm`] — the industrial high-water-mark + engineering-margin baseline.
 //! * [`histogram`] — execution-time histograms (the PDFs of Figure 5).
 //!
@@ -43,6 +47,7 @@ pub mod evt;
 pub mod histogram;
 pub mod hwm;
 pub mod iid;
+pub mod online;
 pub mod sample;
 
 pub use analysis::{MbptaAnalysis, MbptaConfig, MbptaReport};
@@ -50,4 +55,7 @@ pub use evt::{Gumbel, PwcetCurve};
 pub use histogram::Histogram;
 pub use hwm::HighWaterMark;
 pub use iid::{EtTest, KsTest, WwTest};
+pub use online::{
+    BlockMaxima, ConvergenceCheckpoint, ConvergenceCriterion, ConvergenceTracker, OnlineSample,
+};
 pub use sample::ExecutionSample;

@@ -1,0 +1,101 @@
+//! The statistical pipeline must be total over measured data: whatever
+//! cycle counts a campaign produces — constant, near-constant, huge,
+//! adversarially spread — `MbptaAnalysis::analyze` and the public EVT
+//! entry points return a result instead of panicking.  These properties
+//! pin the degeneracy hardening of the EVT fit (`Gumbel::try_fit_moments`,
+//! the `PwcetCurve::fit` fallback) and of the runs-test guard in the
+//! analysis driver.
+
+use proptest::prelude::*;
+use randmod_mbpta::{
+    ConvergenceCriterion, ConvergenceTracker, ExecutionSample, Gumbel, MbptaAnalysis, MbptaConfig,
+    PwcetCurve,
+};
+
+/// Cycle counts biased towards the pathological corners: tight clusters,
+/// exact repetitions, zeros and values far beyond 2^53.
+fn cycles_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just((1u64 << 53) + 1),
+        Just(u64::MAX),
+        0u64..1_000,
+        1_000_000u64..1_001_000,
+        any::<u64>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full analysis never panics on arbitrary samples that satisfy
+    /// the configured minimum-run floor, and its pWCET estimates never
+    /// fall below the observed high-water mark.
+    #[test]
+    fn analyze_is_total_over_arbitrary_samples(
+        cycles in prop::collection::vec(cycles_strategy(), 100..300),
+    ) {
+        let sample = ExecutionSample::from_cycles(&cycles);
+        let report = MbptaAnalysis::new(MbptaConfig::default()).analyze(&sample);
+        prop_assert_eq!(report.runs, cycles.len());
+        for &(p, estimate) in &report.pwcet_estimates {
+            prop_assert!(p > 0.0 && p < 1.0);
+            prop_assert!(estimate >= sample.max() as f64, "pWCET below the hwm");
+        }
+    }
+
+    /// Near-constant samples — the shapes the degeneracy guards exist
+    /// for: constant everywhere, or constant with a handful of outliers
+    /// (including exactly one, which makes the runs test undefined).
+    #[test]
+    fn analyze_is_total_over_near_constant_samples(
+        base in cycles_strategy(),
+        outlier in cycles_strategy(),
+        outlier_count in 0usize..4,
+        len in 100usize..250,
+    ) {
+        let mut cycles = vec![base; len];
+        for i in 0..outlier_count.min(len) {
+            cycles[(i * 37) % len] = outlier;
+        }
+        let sample = ExecutionSample::from_cycles(&cycles);
+        let report = MbptaAnalysis::new(MbptaConfig::default()).analyze(&sample);
+        prop_assert!(report.pwcet_at(1e-15) >= sample.max() as f64);
+    }
+
+    /// The public EVT entry points are total for every block size.
+    #[test]
+    fn evt_entry_points_are_total(
+        cycles in prop::collection::vec(cycles_strategy(), 1..200),
+        block_size in 1usize..60,
+    ) {
+        let sample = ExecutionSample::from_cycles(&cycles);
+        let curve = PwcetCurve::fit(&sample, block_size);
+        prop_assert!(curve.pwcet(1e-12) >= sample.max() as f64);
+        let values: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
+        if let Some(gumbel) = Gumbel::try_fit_moments(&values) {
+            prop_assert!(gumbel.scale() > 0.0);
+        }
+    }
+
+    /// The convergence tracker is total too: any stream either converges
+    /// or runs to the cap, and its estimate tracks the running maximum.
+    #[test]
+    fn convergence_tracker_is_total(
+        cycles in prop::collection::vec(cycles_strategy(), 60..250),
+    ) {
+        let criterion = ConvergenceCriterion::default()
+            .with_min_runs(30)
+            .with_check_interval(20)
+            .with_max_runs(250);
+        let mut tracker = ConvergenceTracker::new(criterion);
+        for &c in &cycles {
+            tracker.push(c);
+        }
+        tracker.finalize();
+        prop_assert_eq!(tracker.runs(), cycles.len());
+        prop_assert!(!tracker.trajectory().is_empty());
+        prop_assert!(tracker.current_estimate() >= tracker.sample().max() as f64);
+    }
+}

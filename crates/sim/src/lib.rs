@@ -24,8 +24,9 @@
 //!   event, bit-identical to sequential replay.
 //! * [`run`] — measurement campaigns: run a program repeatedly with a fresh
 //!   placement seed per run (the MBPTA protocol, batched across seeds by
-//!   default), or sweep memory layouts under deterministic placement (the
-//!   industrial high-water-mark protocol).
+//!   default), adaptively grow the campaign until the pWCET estimate
+//!   converges ([`Campaign::run_adaptive`]), or sweep memory layouts under
+//!   deterministic placement (the industrial high-water-mark protocol).
 //!
 //! ## Quick example
 //!
@@ -65,5 +66,5 @@ pub use config::{CacheConfig, LatencyConfig, PlatformConfig};
 pub use cpu::InOrderCore;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy};
 pub use packed::PackedTrace;
-pub use run::{Campaign, CampaignResult, RunResult};
+pub use run::{AdaptiveResult, Campaign, CampaignResult, RunResult};
 pub use trace::{EventSink, EventSource, MemEvent, SinkFn, Trace, TraceStats};

@@ -26,6 +26,7 @@ use crate::hierarchy::HierarchyStats;
 use crate::trace::{EventSource, Trace};
 use randmod_core::prng::SeedSequence;
 use randmod_core::ConfigError;
+use randmod_mbpta::online::{ConvergenceCheckpoint, ConvergenceCriterion, ConvergenceTracker};
 use std::fmt;
 
 /// The outcome of one run of the program.
@@ -108,6 +109,64 @@ impl fmt::Display for CampaignResult {
             self.min_cycles(),
             self.mean_cycles(),
             self.max_cycles()
+        )
+    }
+}
+
+/// The outcome of an adaptive (convergence-driven) measurement campaign:
+/// the collected runs plus the convergence trajectory that decided when to
+/// stop.  Produced by [`Campaign::run_adaptive`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveResult {
+    result: CampaignResult,
+    trajectory: Vec<ConvergenceCheckpoint>,
+    converged: bool,
+    pwcet_estimate: f64,
+}
+
+impl AdaptiveResult {
+    /// The collected runs, exactly as a fixed-size campaign over the same
+    /// seed prefix would have produced them.
+    pub fn result(&self) -> &CampaignResult {
+        &self.result
+    }
+
+    /// Consumes the adaptive wrapper, keeping the runs.
+    pub fn into_result(self) -> CampaignResult {
+        self.result
+    }
+
+    /// Number of runs the campaign needed (the runs-to-convergence count,
+    /// or the cap when the estimate never stabilised).
+    pub fn runs_used(&self) -> usize {
+        self.result.len()
+    }
+
+    /// Whether the stopping rule was met before the run cap.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// The checkpoint history of the convergence loop, oldest first.
+    pub fn trajectory(&self) -> &[ConvergenceCheckpoint] {
+        &self.trajectory
+    }
+
+    /// The final pWCET estimate at the criterion's target probability.
+    pub fn pwcet_estimate(&self) -> f64 {
+        self.pwcet_estimate
+    }
+}
+
+impl fmt::Display for AdaptiveResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} runs ({} checkpoints): pWCET estimate {:.0} cycles",
+            if self.converged { "converged" } else { "run cap reached" },
+            self.runs_used(),
+            self.trajectory.len(),
+            self.pwcet_estimate
         )
     }
 }
@@ -271,6 +330,69 @@ impl Campaign {
             Ok::<(), ConfigError>(())
         })?;
         Ok(CampaignResult::from_runs(results.into_iter().flatten().collect()))
+    }
+
+    /// Runs the convergence-driven variant of the MBPTA protocol: the seed
+    /// schedule grows in batches until `criterion` declares the pWCET
+    /// estimate stable (or its run cap is hit), instead of executing a
+    /// fixed run count.
+    ///
+    /// Seeds are drawn in the same deterministic order as [`Self::run`],
+    /// and each batch goes through the same seed-batched worker pool
+    /// ([`BatchCore`] lanes across threads), so an adaptive campaign's
+    /// first `N` runs are **bit-identical** to `run_seeds` with the first
+    /// `N` seeds of the campaign's [`SeedSequence`] — the adaptive engine
+    /// only chooses where the schedule *stops*, never what any run
+    /// computes.  The tracker is fed between batches, so the campaign can
+    /// overshoot the exact convergence run by at most one checkpoint
+    /// interval's worth of runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the platform configuration is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the criterion is malformed (see
+    /// [`ConvergenceTracker::new`]).
+    pub fn run_adaptive<S>(
+        &self,
+        source: &S,
+        criterion: &ConvergenceCriterion,
+    ) -> Result<AdaptiveResult, ConfigError>
+    where
+        S: EventSource + ?Sized,
+    {
+        self.config.validate()?;
+        let mut tracker = ConvergenceTracker::new(*criterion);
+        let max_runs = criterion.max_runs.max(1);
+        let mut seeds = SeedSequence::new(self.campaign_seed);
+        let mut runs: Vec<RunResult> = Vec::new();
+        // First batch: everything up to the criterion's floor (the first
+        // possible checkpoint); afterwards one checkpoint interval at a
+        // time.
+        let mut planned = criterion.min_runs.max(1).min(max_runs);
+        loop {
+            let batch: Vec<u64> = seeds.by_ref().take(planned - runs.len()).collect();
+            let batch_result = self.run_seeds_validated(source, &batch)?;
+            for run in batch_result.runs() {
+                tracker.push(run.cycles);
+            }
+            runs.extend_from_slice(batch_result.runs());
+            if tracker.is_converged() || runs.len() >= max_runs {
+                break;
+            }
+            planned = (runs.len() + criterion.check_interval.max(1)).min(max_runs);
+        }
+        // Make sure the trajectory ends with an estimate over the full
+        // sample (the cap can land between checkpoints).
+        tracker.finalize();
+        Ok(AdaptiveResult {
+            result: CampaignResult::from_runs(runs),
+            converged: tracker.is_converged(),
+            pwcet_estimate: tracker.current_estimate(),
+            trajectory: tracker.trajectory().to_vec(),
+        })
     }
 
     /// Runs the deterministic-platform protocol of Figure 4(b) in streaming

@@ -52,6 +52,95 @@ fn platform(
     config
 }
 
+/// A fixed cache-stressing trace for the deterministic edge-case tests.
+fn stress_trace() -> Trace {
+    let mut trace = Trace::new();
+    for repeat in 0..2u64 {
+        for i in 0..700u64 {
+            trace.fetch(Address::new(0x1000 + (i % 20) * 32));
+            trace.load(Address::new(0x10_0000 + i * 36 + repeat));
+            if i % 6 == 0 {
+                trace.store(Address::new(0x20_0000 + (i % 300) * 32));
+            }
+        }
+    }
+    trace
+}
+
+/// The sequential single-thread single-lane reference for `runs` runs.
+fn sequential_reference(config: PlatformConfig, runs: usize, seed: u64) -> randmod_sim::CampaignResult {
+    Campaign::new(config, runs)
+        .with_campaign_seed(seed)
+        .with_threads(1)
+        .with_lanes(1)
+        .run(&stress_trace())
+        .unwrap()
+}
+
+#[test]
+fn more_lanes_than_runs_matches_the_sequential_path() {
+    // A worker sized for 16 lanes receiving a 3-run campaign must use a
+    // lane prefix and still be bit-identical to the sequential engine.
+    for placement in [PlacementKind::RandomModulo, PlacementKind::HashRandom] {
+        let config = PlatformConfig::leon3().with_l1_placement(placement);
+        let reference = sequential_reference(config, 3, 0x1EAF);
+        let wide = Campaign::new(config, 3)
+            .with_campaign_seed(0x1EAF)
+            .with_threads(1)
+            .with_lanes(16)
+            .run(&stress_trace())
+            .unwrap();
+        assert_eq!(wide, reference, "lanes > runs diverged under {placement}");
+    }
+}
+
+#[test]
+fn run_count_not_divisible_by_threads_times_lanes_matches_sequential() {
+    // 23 runs across 3 threads x 4 lanes: ragged chunks and a partial
+    // trailing lane group on every worker.
+    let config = PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo);
+    let reference = sequential_reference(config, 23, 0x0DD);
+    let ragged = Campaign::new(config, 23)
+        .with_campaign_seed(0x0DD)
+        .with_threads(3)
+        .with_lanes(4)
+        .run(&stress_trace())
+        .unwrap();
+    assert_eq!(ragged, reference);
+}
+
+#[test]
+fn reseed_between_runs_disarms_the_mru_read_filter() {
+    // The MRU read filter is armed only under Random replacement, where a
+    // repeat read hit mutates no state.  Reseeding between runs flushes
+    // every cache; a stale `mru_line` surviving the flush would turn the
+    // first read of the new run into a phantom hit — a silent wrong
+    // result.  Replaying the same batch twice (execute_batch reseeds every
+    // lane) and checking each run against a freshly constructed sequential
+    // core pins the disarm.
+    let config = PlatformConfig::leon3()
+        .with_l1_placement(PlacementKind::RandomModulo)
+        .with_replacement(ReplacementKind::Random);
+    let trace = stress_trace();
+    let mut batch = BatchCore::new(&config, 4).unwrap();
+    // First batch leaves every lane's MRU filter armed on some line.
+    let first = batch.execute_batch(&trace, &[11, 22, 33, 44]);
+    // Second batch with different seeds reuses the same (warm, armed)
+    // lanes; results must match isolated sequential runs exactly.
+    let seeds = [55u64, 66, 77, 88];
+    let second = batch.execute_batch(&trace, &seeds);
+    let mut core = InOrderCore::new(&config).unwrap();
+    for (&seed, &(cycles, stats)) in seeds.iter().zip(&second) {
+        assert_eq!(
+            core.execute_isolated(&trace, seed),
+            (cycles, stats),
+            "stale MRU state leaked across the reseed for seed {seed}"
+        );
+    }
+    // And re-running the first seeds reproduces the first results.
+    assert_eq!(batch.execute_batch(&trace, &[11, 22, 33, 44]), first);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
