@@ -127,6 +127,25 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Element-wise sum of two statistics blocks.
+    ///
+    /// Contention campaigns track a *per-task* view of each shared cache
+    /// level; merging the per-task blocks reconstructs the level's
+    /// aggregate traffic.
+    #[must_use]
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses + other.accesses,
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            fills: self.fills + other.fills,
+            evictions: self.evictions + other.evictions,
+            writebacks: self.writebacks + other.writebacks,
+            stores: self.stores + other.stores,
+            flushes: self.flushes + other.flushes,
+        }
+    }
+
     /// Miss ratio (0 when there were no accesses).
     pub fn miss_ratio(&self) -> f64 {
         if self.accesses == 0 {
@@ -805,6 +824,27 @@ mod tests {
         assert!(stats.to_string().contains("2 accesses"));
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merged_stats_sum_every_field() {
+        let mut a = small_cache(PlacementKind::Modulo, WritePolicy::WriteBack);
+        let mut b = small_cache(PlacementKind::Modulo, WritePolicy::WriteBack);
+        for i in 0..40u64 {
+            a.access(Address::new(i * 32), AccessKind::Store);
+            b.access(Address::new((i % 8) * 32), AccessKind::Load);
+        }
+        let merged = a.stats().merged(b.stats());
+        assert_eq!(merged.accesses, a.stats().accesses + b.stats().accesses);
+        assert_eq!(merged.hits, a.stats().hits + b.stats().hits);
+        assert_eq!(merged.misses, merged.accesses - merged.hits);
+        assert_eq!(merged.stores, 40);
+        assert_eq!(merged.fills, a.stats().fills + b.stats().fills);
+        assert_eq!(
+            CacheStats::default().merged(a.stats()),
+            a.stats(),
+            "merging with the identity must be a no-op"
+        );
     }
 
     #[test]

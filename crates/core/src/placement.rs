@@ -632,16 +632,35 @@ pub struct RandomModuloPlacement {
 /// per-access cost into one predictable tag compare plus one table load.
 /// Entries are pure functions of `(segment, seed)`, so memoized results are
 /// bit-identical to the network walk; reseeding invalidates everything.
+///
+/// Two design points keep the memo robust when *several* working sets
+/// interleave (the shared-L2 contention campaigns, where co-runner tasks
+/// alternate segments every few accesses):
+///
+/// * **Hashed slot placement.**  Slots are selected by a multiplicative
+///   hash of the segment id, not its low bits — co-runners laid out at
+///   large power-of-two offsets land in distinct slots instead of all
+///   aliasing slot 0.
+/// * **Lazy per-entry fill.**  A slot swap only retags the slot and clears
+///   a per-entry valid bitmap (a few words); each LUT entry is computed on
+///   first use.  Eagerly filling a whole LUT per swap turns slot aliasing
+///   into ~`sets` network walks *per access* — a 100x+ slowdown observed
+///   the moment two alternating tasks shared a slot.
 #[derive(Debug, Clone)]
 struct SegmentLutCache {
     /// Number of direct-mapped slots (power of two); zero when memoization
     /// is disabled because the geometry's LUTs would be too large.
     slots: usize,
     sets: usize,
+    /// `u64` words of valid bits per slot (`sets.div_ceil(64)`).
+    words_per_slot: usize,
     /// Segment id resident in each slot (`u64::MAX` = empty).
     tags: Vec<u64>,
-    /// `luts[slot * sets + modulo_index]` = permuted index.
+    /// `luts[slot * sets + modulo_index]` = permuted index (valid only when
+    /// the matching bit of `valid` is set).
     luts: Vec<u16>,
+    /// One valid bit per LUT entry, `words_per_slot` words per slot.
+    valid: Vec<u64>,
 }
 
 impl SegmentLutCache {
@@ -659,16 +678,28 @@ impl SegmentLutCache {
         } else {
             0
         };
+        let words_per_slot = sets.div_ceil(64);
         SegmentLutCache {
             slots,
             sets,
+            words_per_slot,
             tags: vec![u64::MAX; slots],
             luts: vec![0; slots * sets],
+            valid: vec![0; slots * words_per_slot],
         }
+    }
+
+    /// The slot a segment maps to (Fibonacci hashing on the high product
+    /// bits, so segments at regular power-of-two strides spread out).
+    #[inline]
+    fn slot_of(&self, segment: u64) -> usize {
+        let hashed = segment.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (hashed >> (u64::BITS - self.slots.trailing_zeros())) as usize
     }
 
     fn invalidate(&mut self) {
         self.tags.fill(u64::MAX);
+        self.valid.fill(0);
     }
 }
 
@@ -702,23 +733,25 @@ impl RandomModuloPlacement {
             let controls = self.control_word_for_segment(segment);
             return self.network.permute_bits(modulo_index, controls);
         }
-        let slot = segment as usize & (self.memo.slots - 1);
+        let slot = self.memo.slot_of(segment);
         if self.memo.tags[slot] != segment {
-            self.fill_memo_slot(slot, segment);
+            // Slot swap: retag and clear the valid bitmap only.  Entries
+            // are recomputed lazily on first use, so alternating between
+            // segments that share a slot costs one network walk per fresh
+            // index instead of a whole-LUT refill per swap.
+            self.memo.tags[slot] = segment;
+            let word_base = slot * self.memo.words_per_slot;
+            self.memo.valid[word_base..word_base + self.memo.words_per_slot].fill(0);
         }
-        self.memo.luts[slot * self.memo.sets + modulo_index as usize] as u32
-    }
-
-    /// Computes the full permutation LUT of one segment (the memoization
-    /// slow path, amortized over every subsequent access to the segment).
-    fn fill_memo_slot(&mut self, slot: usize, segment: u64) {
-        let controls = self.control_word_for_segment(segment);
-        let base = slot * self.memo.sets;
-        for index in 0..self.memo.sets as u32 {
-            self.memo.luts[base + index as usize] =
-                self.network.permute_bits(index, controls) as u16;
+        let entry = slot * self.memo.sets + modulo_index as usize;
+        let word = slot * self.memo.words_per_slot + (modulo_index as usize >> 6);
+        let bit = 1u64 << (modulo_index & 63);
+        if self.memo.valid[word] & bit == 0 {
+            let controls = self.control_word_for_segment(segment);
+            self.memo.luts[entry] = self.network.permute_bits(modulo_index, controls) as u16;
+            self.memo.valid[word] |= bit;
         }
-        self.memo.tags[slot] = segment;
+        self.memo.luts[entry] as u32
     }
 
     /// Number of control bits of the underlying Benes network.

@@ -4,7 +4,7 @@
 //! the paper).
 
 use randmod_experiments::cli::ExperimentOptions;
-use randmod_experiments::{fig1, fig4, fig5, sec44, table1, table2};
+use randmod_experiments::{fig1, fig4, fig5, fig6, sec44, table1, table2};
 
 fn main() {
     let options = ExperimentOptions::from_env();
@@ -75,6 +75,19 @@ fn main() {
             .map(|rows| {
                 let summary = sec44::summarize(&rows);
                 format!("mean degradation {:.2}%", summary.mean_degradation * 100.0)
+            })
+            .map_err(|e| e.to_string()),
+    );
+
+    check(
+        "fig6_contention",
+        fig6::generate(&options)
+            .map(|rows| {
+                let worst = rows
+                    .iter()
+                    .map(|r| r.inflation_percent)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                format!("worst victim pWCET inflation {worst:.1}%")
             })
             .map_err(|e| e.to_string()),
     );

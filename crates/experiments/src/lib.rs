@@ -14,6 +14,7 @@
 //! | Figure 4(b) (RM pWCET vs deterministic hwm) | [`fig4`] | `fig4b_rm_vs_det` |
 //! | Figure 5 (synthetic kernel PDFs and pWCET curves) | [`fig5`] | `fig5_synthetic` |
 //! | Section 4.4 (average performance vs modulo) | [`sec44`] | `sec44_avg_performance` |
+//! | Shared-L2 contention sweep (beyond the paper) | [`fig6`] | `fig6_contention` |
 //!
 //! The paper uses 1,000 runs per benchmark; the binaries default to a
 //! smaller run count so a full reproduction finishes in minutes on a laptop
@@ -26,6 +27,7 @@ pub mod cli;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;
+pub mod fig6;
 pub mod runner;
 pub mod sec44;
 pub mod table1;

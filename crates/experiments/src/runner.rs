@@ -13,8 +13,8 @@ use randmod_mbpta::{
     ConvergenceCriterion, ExecutionSample, MbptaAnalysis, MbptaConfig, MbptaReport,
 };
 use randmod_sim::trace::EventSource;
-use randmod_sim::{AdaptiveResult, Campaign, PlatformConfig};
-use randmod_workloads::{LayoutSweep, MemoryLayout, Workload};
+use randmod_sim::{AdaptiveResult, Campaign, ContendedAdaptiveResult, PlatformConfig};
+use randmod_workloads::{CoSchedule, LayoutSweep, MemoryLayout, Workload};
 
 /// The experimental platform of Section 4.3: the chosen placement policy in
 /// the IL1 and DL1, hRP kept in the L2, random replacement everywhere.
@@ -273,6 +273,83 @@ pub fn measure_campaign(
     })
 }
 
+/// The contention platform of the `fig6_contention` experiment: the
+/// placement policy under test at the **shared L2**, Random Modulo kept in
+/// every task's L1s (the paper's design point), random replacement
+/// everywhere.  The sweep isolates how the shared level's placement policy
+/// shapes victim pWCET under co-runner pressure.
+pub fn contention_platform(l2_placement: PlacementKind) -> PlatformConfig {
+    PlatformConfig::leon3()
+        .with_l1_placement(PlacementKind::RandomModulo)
+        .with_l2_placement(l2_placement)
+}
+
+/// A contended campaign's extracted samples: one [`ExecutionSample`] per
+/// task (victim first), plus the convergence record of an adaptive run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContendedMeasurement {
+    /// Per-task execution-time samples, task 0 (the victim) first.
+    pub per_task: Vec<ExecutionSample>,
+    /// The convergence record (`None` for fixed-run campaigns).
+    pub adaptive: Option<AdaptiveSummary>,
+}
+
+impl ContendedMeasurement {
+    /// The victim's (task 0's) sample.
+    pub fn victim(&self) -> &ExecutionSample {
+        &self.per_task[0]
+    }
+}
+
+impl AdaptiveSummary {
+    fn from_contended(result: &ContendedAdaptiveResult) -> Self {
+        AdaptiveSummary {
+            runs_used: result.runs_used(),
+            converged: result.converged(),
+            checkpoints: result.trajectory().len(),
+            pwcet_estimate: result.pwcet_estimate(),
+        }
+    }
+}
+
+/// Runs a contended (shared-L2) campaign for one co-schedule and splits
+/// the result into per-task samples.  Honours `options.adaptive`: a
+/// fixed-run schedule by default, or the convergence-driven protocol on
+/// the victim's pWCET (whose collected runs are a bit-identical prefix of
+/// the fixed schedule) under `--adaptive`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the platform configuration is invalid.
+pub fn measure_contended<W: Workload>(
+    schedule: &CoSchedule<W>,
+    l2_placement: PlacementKind,
+    options: &ExperimentOptions,
+    campaign_seed: u64,
+) -> Result<ContendedMeasurement, ConfigError> {
+    let sources = schedule.packed_traces(&MemoryLayout::default());
+    let tasks = sources.len();
+    let campaign = campaign(
+        contention_platform(l2_placement),
+        options.runs,
+        campaign_seed,
+        options.threads,
+        options.lanes,
+    );
+    let (result, adaptive) = if options.adaptive {
+        let criterion = convergence_criterion(options);
+        let adaptive = campaign.run_contended_adaptive(&sources, &criterion)?;
+        let summary = AdaptiveSummary::from_contended(&adaptive);
+        (adaptive.result().clone(), Some(summary))
+    } else {
+        (campaign.run_contended_campaign(&sources)?, None)
+    };
+    Ok(ContendedMeasurement {
+        per_task: ExecutionSample::split_interleaved(result.flat_cycles_iter(), tasks),
+        adaptive,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +434,55 @@ mod tests {
             .with_lanes(4);
         let sample = measure_opts(&kernel, PlacementKind::RandomModulo, &options, 3).unwrap();
         assert_eq!(sample.len(), 8);
+    }
+
+    #[test]
+    fn contended_solo_measurement_matches_the_single_task_protocol() {
+        use randmod_workloads::CoSchedule;
+        let kernel = SyntheticKernel::with_traversals(4 * 1024, 2);
+        let schedule = CoSchedule::pressure_level(kernel, 0); // idle opponent
+        let options = crate::cli::ExperimentOptions::default().with_runs(MIN_RUNS);
+        let measurement =
+            measure_contended(&schedule, PlacementKind::RandomModulo, &options, 5).unwrap();
+        assert!(measurement.adaptive.is_none());
+        assert_eq!(measurement.per_task.len(), 2);
+        // The victim sample is bit-identical to the solo protocol on the
+        // same platform; the idle opponent contributes all-zero cycles.
+        let trace = kernel.packed_trace(&MemoryLayout::default());
+        let solo = measure_source(
+            &trace,
+            contention_platform(PlacementKind::RandomModulo),
+            MIN_RUNS,
+            5,
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(measurement.victim(), &solo);
+        assert!(measurement.per_task[1].values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn contended_adaptive_measurement_is_a_prefix_of_the_fixed_schedule() {
+        use randmod_workloads::CoSchedule;
+        let kernel = SyntheticKernel::with_traversals(20 * 1024, 3);
+        let schedule = CoSchedule::pressure_level(kernel, 2);
+        let options = crate::cli::ExperimentOptions::default()
+            .with_adaptive()
+            .with_max_runs(60)
+            .with_target_cv(0.1);
+        let adaptive =
+            measure_contended(&schedule, PlacementKind::HashRandom, &options, 11).unwrap();
+        let summary = adaptive.adaptive.clone().expect("adaptive summary missing");
+        assert_eq!(summary.runs_used, adaptive.victim().len());
+        let fixed = measure_contended(
+            &schedule,
+            PlacementKind::HashRandom,
+            &crate::cli::ExperimentOptions::default().with_runs(summary.runs_used),
+            11,
+        )
+        .unwrap();
+        assert_eq!(adaptive.per_task, fixed.per_task);
     }
 
     #[test]

@@ -223,11 +223,49 @@ fn run_all_quick() {
         "fig4b_rm_vs_det",
         "fig5_synthetic",
         "sec44_avg_performance",
+        "fig6_contention",
     ] {
         assert!(stdout.contains(artefact), "missing {artefact} in:\n{stdout}");
     }
     assert!(!stdout.contains("FAILED"), "an experiment failed:\n{stdout}");
     assert!(stdout.contains("# all experiments completed"));
+}
+
+#[test]
+fn fig6_contention_quick() {
+    let stdout = run(env!("CARGO_BIN_EXE_fig6_contention"), &["--quick"]);
+    assert_csv_rows(
+        &stdout,
+        "l2_placement,pressure,opponents,victim_pwcet,victim_mean,inflation_percent,runs",
+        7,
+        16,
+    );
+    // All four placement policies appear at the shared L2, and the idle
+    // baseline rows report zero inflation.
+    for placement in ["MOD", "XOR", "hRP", "RM"] {
+        assert!(
+            stdout.contains(&format!("{placement},0,idle")),
+            "missing idle baseline for {placement}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn fig6_contention_adaptive_quick() {
+    let stdout = run(
+        env!("CARGO_BIN_EXE_fig6_contention"),
+        &["--quick", "--adaptive"],
+    );
+    assert_csv_rows(
+        &stdout,
+        "l2_placement,pressure,opponents,victim_pwcet,victim_mean,inflation_percent,runs",
+        7,
+        16,
+    );
+    assert!(
+        stdout.contains("# adaptive:"),
+        "missing convergence record:\n{stdout}"
+    );
 }
 
 #[test]

@@ -30,6 +30,41 @@ impl ExecutionSample {
         cycles.into_iter().collect()
     }
 
+    /// Splits a run-major interleaved cycle stream into one sample per
+    /// task — the extraction step for contended (multi-task) campaigns,
+    /// whose engines report `runs × tasks` observations flattened as
+    /// `run0·task0, run0·task1, …, run1·task0, …`.  Task 0 (the victim)
+    /// comes first; observation order within each task is campaign order,
+    /// so every per-task sample feeds the i.i.d. tests and EVT fit
+    /// unchanged.
+    ///
+    /// ```
+    /// use randmod_mbpta::ExecutionSample;
+    ///
+    /// let per_task = ExecutionSample::split_interleaved([10, 99, 11, 98], 2);
+    /// assert_eq!(per_task[0], ExecutionSample::from_cycles(&[10, 11]));
+    /// assert_eq!(per_task[1], ExecutionSample::from_cycles(&[99, 98]));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is zero or the stream length is not a multiple of
+    /// `tasks` (a truncated run).
+    pub fn split_interleaved<I: IntoIterator<Item = u64>>(cycles: I, tasks: usize) -> Vec<Self> {
+        assert!(tasks > 0, "a contended sample needs at least one task");
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); tasks];
+        let mut next = 0usize;
+        for value in cycles {
+            samples[next].push(value as f64);
+            next = (next + 1) % tasks;
+        }
+        assert_eq!(
+            next, 0,
+            "interleaved stream length is not a multiple of the task count"
+        );
+        samples.into_iter().map(|values| ExecutionSample { values }).collect()
+    }
+
     /// Creates a sample from floating-point observations.
     ///
     /// # Panics
@@ -260,5 +295,33 @@ mod tests {
             ExecutionSample::from_cycles_iter(cycles.iter().copied()),
             ExecutionSample::from_cycles(&cycles)
         );
+    }
+
+    #[test]
+    fn split_interleaved_extracts_per_task_samples() {
+        let per_task = ExecutionSample::split_interleaved([1, 10, 100, 2, 20, 200], 3);
+        assert_eq!(per_task.len(), 3);
+        assert_eq!(per_task[0], ExecutionSample::from_cycles(&[1, 2]));
+        assert_eq!(per_task[1], ExecutionSample::from_cycles(&[10, 20]));
+        assert_eq!(per_task[2], ExecutionSample::from_cycles(&[100, 200]));
+        // One task degenerates to the identity.
+        assert_eq!(
+            ExecutionSample::split_interleaved([5, 6, 7], 1),
+            vec![ExecutionSample::from_cycles(&[5, 6, 7])]
+        );
+        // An empty stream yields empty per-task samples.
+        assert!(ExecutionSample::split_interleaved([], 2).iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the task count")]
+    fn split_interleaved_rejects_truncated_runs() {
+        ExecutionSample::split_interleaved([1, 2, 3], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn split_interleaved_rejects_zero_tasks() {
+        ExecutionSample::split_interleaved([1, 2], 0);
     }
 }

@@ -38,6 +38,21 @@ impl HierarchyStats {
     pub fn l1_misses(&self) -> u64 {
         self.il1.misses + self.dl1.misses
     }
+
+    /// Element-wise sum of two statistics blocks.
+    ///
+    /// A contended campaign reports one `HierarchyStats` per task;
+    /// merging them yields the aggregate view of the run (the per-task L2
+    /// halves sum to the shared partition's total traffic).
+    #[must_use]
+    pub fn merged(self, other: HierarchyStats) -> HierarchyStats {
+        HierarchyStats {
+            il1: self.il1.merged(other.il1),
+            dl1: self.dl1.merged(other.dl1),
+            l2: self.l2.merged(other.l2),
+            memory_accesses: self.memory_accesses + other.memory_accesses,
+        }
+    }
 }
 
 /// Compact per-level counter block of one batched replay lane.
@@ -62,7 +77,7 @@ pub(crate) struct LevelCounters {
 impl LevelCounters {
     /// Accumulates one access (branch-free).
     #[inline]
-    fn record(&mut self, flags: AccessFlags, is_write: bool) {
+    pub(crate) fn record(&mut self, flags: AccessFlags, is_write: bool) {
         self.accesses += 1;
         self.stores += is_write as u64;
         self.hits += flags.is_hit() as u64;
@@ -114,6 +129,62 @@ impl RunCounters {
             memory_accesses: self.memory_accesses,
         }
     }
+}
+
+/// The lean L1→L2→memory read path shared by every hierarchy shape (the
+/// solo [`MemoryHierarchy`] and the contended
+/// [`crate::contention::SharedL2Hierarchy`], which differ only in *which*
+/// L1 pair sits in front of the L2): probes the L1, fills from the L2 on
+/// a miss, charges the level-appropriate latency, and books everything in
+/// the caller's counter block.  One implementation keeps the two models'
+/// latency and statistics semantics identical by construction.
+#[inline]
+pub(crate) fn read_lean(
+    l1: &mut SetAssocCache,
+    l2: &mut SetAssocCache,
+    latencies: &crate::config::LatencyConfig,
+    addr: Address,
+    kind: AccessKind,
+    counters: &mut RunCounters,
+) -> u64 {
+    let flags = l1.access_lean(addr, kind);
+    let l1_counter = match kind {
+        AccessKind::InstructionFetch => &mut counters.il1,
+        _ => &mut counters.dl1,
+    };
+    l1_counter.record(flags, false);
+    if flags.is_hit() {
+        latencies.l1_hit as u64
+    } else {
+        let l2_flags = l2.access_lean(addr, kind);
+        counters.l2.record(l2_flags, false);
+        if l2_flags.is_hit() {
+            (latencies.l1_hit + latencies.l2_hit) as u64
+        } else {
+            counters.memory_accesses += 1;
+            (latencies.l1_hit + latencies.l2_hit + latencies.memory) as u64
+        }
+    }
+}
+
+/// The lean store path shared by every hierarchy shape (see
+/// [`read_lean`]): the write-through DL1 is updated without allocation,
+/// the store is forwarded to the L2, and a missing L2 line is fetched
+/// from memory in the background.
+#[inline]
+pub(crate) fn store_lean(
+    dl1: &mut SetAssocCache,
+    l2: &mut SetAssocCache,
+    latencies: &crate::config::LatencyConfig,
+    addr: Address,
+    counters: &mut RunCounters,
+) -> u64 {
+    let flags = dl1.access_lean(addr, AccessKind::Store);
+    counters.dl1.record(flags, true);
+    let l2_flags = l2.access_lean(addr, AccessKind::Store);
+    counters.l2.record(l2_flags, true);
+    counters.memory_accesses += l2_flags.is_miss() as u64;
+    latencies.store as u64
 }
 
 impl fmt::Display for HierarchyStats {
@@ -249,57 +320,33 @@ impl MemoryHierarchy {
     /// [`Self::access`] with [`MemEvent::InstrFetch`].
     #[inline]
     pub(crate) fn fetch_lean(&mut self, addr: Address, counters: &mut RunCounters) -> u64 {
-        let lat = self.config.latencies;
-        let flags = self.il1.access_lean(addr, AccessKind::InstructionFetch);
-        counters.il1.record(flags, false);
-        if flags.is_hit() {
-            lat.l1_hit as u64
-        } else {
-            self.fill_from_l2_lean(addr, AccessKind::InstructionFetch, counters) + lat.l1_hit as u64
-        }
+        read_lean(
+            &mut self.il1,
+            &mut self.l2,
+            &self.config.latencies,
+            addr,
+            AccessKind::InstructionFetch,
+            counters,
+        )
     }
 
     /// Lean data load for batched replay (see [`Self::fetch_lean`]).
     #[inline]
     pub(crate) fn load_lean(&mut self, addr: Address, counters: &mut RunCounters) -> u64 {
-        let lat = self.config.latencies;
-        let flags = self.dl1.access_lean(addr, AccessKind::Load);
-        counters.dl1.record(flags, false);
-        if flags.is_hit() {
-            lat.l1_hit as u64
-        } else {
-            self.fill_from_l2_lean(addr, AccessKind::Load, counters) + lat.l1_hit as u64
-        }
+        read_lean(
+            &mut self.dl1,
+            &mut self.l2,
+            &self.config.latencies,
+            addr,
+            AccessKind::Load,
+            counters,
+        )
     }
 
     /// Lean data store for batched replay (see [`Self::fetch_lean`]).
     #[inline]
     pub(crate) fn store_lean(&mut self, addr: Address, counters: &mut RunCounters) -> u64 {
-        let flags = self.dl1.access_lean(addr, AccessKind::Store);
-        counters.dl1.record(flags, true);
-        let l2_flags = self.l2.access_lean(addr, AccessKind::Store);
-        counters.l2.record(l2_flags, true);
-        counters.memory_accesses += l2_flags.is_miss() as u64;
-        self.config.latencies.store as u64
-    }
-
-    /// Lean counterpart of [`Self::fill_from_l2`].
-    #[inline]
-    fn fill_from_l2_lean(
-        &mut self,
-        addr: Address,
-        kind: AccessKind,
-        counters: &mut RunCounters,
-    ) -> u64 {
-        let lat = self.config.latencies;
-        let flags = self.l2.access_lean(addr, kind);
-        counters.l2.record(flags, false);
-        if flags.is_hit() {
-            lat.l2_hit as u64
-        } else {
-            counters.memory_accesses += 1;
-            (lat.l2_hit + lat.memory) as u64
-        }
+        store_lean(&mut self.dl1, &mut self.l2, &self.config.latencies, addr, counters)
     }
 
     /// Serves an L1 load/fetch miss from the L2 (or memory) and returns the

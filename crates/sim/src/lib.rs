@@ -22,6 +22,9 @@
 //! * [`batch`] — the seed-batched replay engine: decode the trace once and
 //!   step `K` independent seed lanes (hierarchies + cycle counters) per
 //!   event, bit-identical to sequential replay.
+//! * [`contention`] — the multi-task shared-L2 platform: per-task private
+//!   L1 pairs over one shared L2 partition, interleaved by a deterministic
+//!   seeded arbitration policy (round-robin or seeded-random).
 //! * [`run`] — measurement campaigns: run a program repeatedly with a fresh
 //!   placement seed per run (the MBPTA protocol, batched across seeds by
 //!   default), adaptively grow the campaign until the pWCET estimate
@@ -55,6 +58,7 @@
 
 pub mod batch;
 pub mod config;
+pub mod contention;
 pub mod cpu;
 pub mod hierarchy;
 pub mod packed;
@@ -63,8 +67,12 @@ pub mod trace;
 
 pub use batch::BatchCore;
 pub use config::{CacheConfig, LatencyConfig, PlatformConfig};
+pub use contention::{Arbitration, ContentionCore, SharedL2Hierarchy};
 pub use cpu::InOrderCore;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy};
 pub use packed::PackedTrace;
-pub use run::{AdaptiveResult, Campaign, CampaignResult, RunResult};
+pub use run::{
+    AdaptiveResult, Campaign, CampaignResult, ContendedAdaptiveResult, ContendedResult,
+    ContendedRun, RunResult, TaskRun,
+};
 pub use trace::{EventSink, EventSource, MemEvent, SinkFn, Trace, TraceStats};

@@ -21,6 +21,7 @@
 
 use crate::batch::BatchCore;
 use crate::config::PlatformConfig;
+use crate::contention::{Arbitration, ContentionCore};
 use crate::cpu::InOrderCore;
 use crate::hierarchy::HierarchyStats;
 use crate::trace::{EventSource, Trace};
@@ -28,6 +29,38 @@ use randmod_core::prng::SeedSequence;
 use randmod_core::ConfigError;
 use randmod_mbpta::online::{ConvergenceCheckpoint, ConvergenceCriterion, ConvergenceTracker};
 use std::fmt;
+
+/// Fans `items` out over up to `threads` scoped worker threads in
+/// contiguous, order-preserving chunks and concatenates the workers'
+/// results.  Every campaign engine — seed sweeps, contended sweeps,
+/// layout sweeps — shares this one scaffold, so work partitioning (and
+/// therefore result order) is identical across protocols by construction.
+fn scoped_chunks<T, R, F>(items: &[T], threads: usize, worker: F) -> Result<Vec<R>, ConfigError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Result<Vec<R>, ConfigError> + Sync,
+{
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = threads.min(items.len()).max(1);
+    let chunk_size = items.len().div_ceil(threads);
+    let worker = &worker;
+    let mut results: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || worker(chunk)))
+            .collect();
+        for handle in handles {
+            let chunk_result = handle.join().expect("campaign worker thread panicked");
+            results.push(chunk_result?);
+        }
+        Ok::<(), ConfigError>(())
+    })?;
+    Ok(results.into_iter().flatten().collect())
+}
 
 /// The outcome of one run of the program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +143,158 @@ impl fmt::Display for CampaignResult {
             self.mean_cycles(),
             self.max_cycles()
         )
+    }
+}
+
+/// One task's share of a contended run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskRun {
+    /// The task's end-to-end execution time in cycles.
+    pub cycles: u64,
+    /// The task's own view of the hierarchy: its private L1s plus its
+    /// share of the shared-L2 traffic.
+    pub stats: HierarchyStats,
+}
+
+/// One run of a contended campaign: the seed plus every task's outcome,
+/// task 0 (the victim) first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContendedRun {
+    /// The placement seed installed for this run.
+    pub seed: u64,
+    /// Per-task outcomes, in task order.
+    pub tasks: Vec<TaskRun>,
+}
+
+impl ContendedRun {
+    /// The aggregate hierarchy view of the run (per-task stats summed; the
+    /// L2 half is the shared partition's total traffic).
+    pub fn aggregate_stats(&self) -> HierarchyStats {
+        self.tasks
+            .iter()
+            .fold(HierarchyStats::default(), |acc, task| acc.merged(task.stats))
+    }
+}
+
+/// The collected results of a contended (multi-task, shared-L2)
+/// measurement campaign.  Produced by [`Campaign::run_contended`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContendedResult {
+    runs: Vec<ContendedRun>,
+}
+
+impl ContendedResult {
+    /// Creates a result from individual contended runs.
+    pub fn from_runs(runs: Vec<ContendedRun>) -> Self {
+        ContendedResult { runs }
+    }
+
+    /// The individual runs, in campaign order.
+    pub fn runs(&self) -> &[ContendedRun] {
+        &self.runs
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the campaign produced no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of tasks per run (0 for an empty campaign).
+    pub fn task_count(&self) -> usize {
+        self.runs.first().map_or(0, |run| run.tasks.len())
+    }
+
+    /// Iterates one task's execution times in campaign order (task 0 is
+    /// the victim — the sample MBPTA consumes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range for a non-empty campaign.
+    pub fn task_cycles_iter(&self, task: usize) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().map(move |run| run.tasks[task].cycles)
+    }
+
+    /// Iterates the per-run cycles of every task in run-major order
+    /// (`run0·task0, run0·task1, …, run1·task0, …`) — the flat layout
+    /// `randmod_mbpta`'s per-task sample extraction splits back apart.
+    pub fn flat_cycles_iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().flat_map(|run| run.tasks.iter().map(|t| t.cycles))
+    }
+
+    /// The victim's (task 0's) runs as a single-task [`CampaignResult`],
+    /// for code written against the solo campaign API.
+    pub fn victim_result(&self) -> CampaignResult {
+        CampaignResult::from_runs(
+            self.runs
+                .iter()
+                .map(|run| RunResult {
+                    seed: run.seed,
+                    cycles: run.tasks[0].cycles,
+                    stats: run.tasks[0].stats,
+                })
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for ContendedResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} contended runs x {} tasks: victim max {} cycles",
+            self.len(),
+            self.task_count(),
+            self.runs
+                .iter()
+                .map(|run| run.tasks[0].cycles)
+                .max()
+                .unwrap_or(0)
+        )
+    }
+}
+
+/// The outcome of an adaptive contended campaign: the collected runs plus
+/// the convergence trajectory of the victim's pWCET estimate.  Produced by
+/// [`Campaign::run_contended_adaptive`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContendedAdaptiveResult {
+    result: ContendedResult,
+    trajectory: Vec<ConvergenceCheckpoint>,
+    converged: bool,
+    pwcet_estimate: f64,
+}
+
+impl ContendedAdaptiveResult {
+    /// The collected runs, exactly as a fixed-size contended campaign over
+    /// the same seed prefix would have produced them.
+    pub fn result(&self) -> &ContendedResult {
+        &self.result
+    }
+
+    /// Number of runs the campaign needed.
+    pub fn runs_used(&self) -> usize {
+        self.result.len()
+    }
+
+    /// Whether the stopping rule was met before the run cap.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// The checkpoint history of the convergence loop, oldest first.
+    pub fn trajectory(&self) -> &[ConvergenceCheckpoint] {
+        &self.trajectory
+    }
+
+    /// The final victim pWCET estimate at the criterion's target
+    /// probability.
+    pub fn pwcet_estimate(&self) -> f64 {
+        self.pwcet_estimate
     }
 }
 
@@ -198,6 +383,7 @@ pub struct Campaign {
     campaign_seed: u64,
     threads: usize,
     lanes: usize,
+    arbitration: Arbitration,
 }
 
 impl Campaign {
@@ -216,6 +402,7 @@ impl Campaign {
             campaign_seed: 0x00C0_FFEE,
             threads,
             lanes: Self::DEFAULT_LANES,
+            arbitration: Arbitration::default(),
         }
     }
 
@@ -248,6 +435,18 @@ impl Campaign {
     /// Number of seed lanes per worker.
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// Overrides the arbitration policy of contended campaigns (the
+    /// default is round-robin; ignored by the single-task protocols).
+    pub fn with_arbitration(mut self, arbitration: Arbitration) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+
+    /// The arbitration policy contended campaigns use.
+    pub fn arbitration(&self) -> Arbitration {
+        self.arbitration
     }
 
     /// The platform configuration of this campaign.
@@ -298,38 +497,209 @@ impl Campaign {
     where
         S: EventSource + ?Sized,
     {
-        if seeds.is_empty() {
-            return Ok(CampaignResult::default());
-        }
-        let threads = self.threads.min(seeds.len()).max(1);
-        let chunk_size = seeds.len().div_ceil(threads);
         let config = self.config;
         let lanes = self.lanes;
-        let mut results: Vec<Vec<RunResult>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || -> Result<Vec<RunResult>, ConfigError> {
-                        let mut core = BatchCore::new(&config, lanes.min(chunk.len()))?;
-                        let mut out = Vec::with_capacity(chunk.len());
-                        for group in chunk.chunks(core.lane_count()) {
-                            let lane_results = core.execute_batch(source.events(), group);
-                            for (&seed, (cycles, stats)) in group.iter().zip(lane_results) {
-                                out.push(RunResult { seed, cycles, stats });
-                            }
-                        }
-                        Ok(out)
-                    })
-                })
-                .collect();
-            for handle in handles {
-                let chunk_result = handle.join().expect("campaign worker thread panicked");
-                results.push(chunk_result?);
+        let runs = scoped_chunks(seeds, self.threads, |chunk| {
+            let mut core = BatchCore::new(&config, lanes.min(chunk.len()))?;
+            let mut out = Vec::with_capacity(chunk.len());
+            for group in chunk.chunks(core.lane_count()) {
+                let lane_results = core.execute_batch(source.events(), group);
+                for (&seed, (cycles, stats)) in group.iter().zip(lane_results) {
+                    out.push(RunResult { seed, cycles, stats });
+                }
             }
-            Ok::<(), ConfigError>(())
+            Ok(out)
         })?;
-        Ok(CampaignResult::from_runs(results.into_iter().flatten().collect()))
+        Ok(CampaignResult::from_runs(runs))
+    }
+
+    /// The shared convergence-loop driver of [`Self::run_adaptive`] and
+    /// [`Self::run_contended_adaptive`]: draws seeds from this campaign's
+    /// [`SeedSequence`], executes them in checkpoint-sized batches through
+    /// `execute`, and feeds `cycles_of` of every produced run to the
+    /// tracker.  One implementation keeps the two protocols' stopping
+    /// semantics (floor, cadence, cap, finalize) identical by
+    /// construction — both bit-identical-prefix guarantees depend on it.
+    fn run_adaptive_schedule<R>(
+        &self,
+        criterion: &ConvergenceCriterion,
+        mut execute: impl FnMut(&[u64]) -> Result<Vec<R>, ConfigError>,
+        cycles_of: impl Fn(&R) -> u64,
+    ) -> Result<(Vec<R>, ConvergenceTracker), ConfigError> {
+        let mut tracker = ConvergenceTracker::new(*criterion);
+        let max_runs = criterion.max_runs.max(1);
+        let mut seeds = SeedSequence::new(self.campaign_seed);
+        let mut runs: Vec<R> = Vec::new();
+        // First batch: everything up to the criterion's floor (the first
+        // possible checkpoint); afterwards one checkpoint interval at a
+        // time.
+        let mut planned = criterion.min_runs.max(1).min(max_runs);
+        loop {
+            let batch: Vec<u64> = seeds.by_ref().take(planned - runs.len()).collect();
+            let batch_runs = execute(&batch)?;
+            for run in &batch_runs {
+                tracker.push(cycles_of(run));
+            }
+            // An engine may legitimately produce nothing (a contended
+            // campaign with no sources); stop rather than spin.
+            let produced = batch_runs.len();
+            runs.extend(batch_runs);
+            if tracker.is_converged() || runs.len() >= max_runs || produced == 0 {
+                break;
+            }
+            planned = (runs.len() + criterion.check_interval.max(1)).min(max_runs);
+        }
+        // Make sure the trajectory ends with an estimate over the full
+        // sample (the cap can land between checkpoints).
+        tracker.finalize();
+        Ok((runs, tracker))
+    }
+
+    /// Runs the contended (multi-task, shared-L2) MBPTA protocol: every
+    /// seed executes one run of `sources[0]` (the victim) co-scheduled
+    /// against `sources[1..]` (the opponents) on a
+    /// [`crate::contention::SharedL2Hierarchy`], under this campaign's
+    /// [`Arbitration`] policy.  Runs are distributed over the same worker
+    /// thread pool as [`Self::run_seeds`]; each run is a pure function of
+    /// its seed, so results are thread-invariant.
+    ///
+    /// **Solo fast path**: when every opponent trace is empty (an idle
+    /// co-schedule), the victim's runs route through the seed-batched
+    /// [`BatchCore`] lane pool — the exact [`Self::run_seeds`] engine — so
+    /// a solo contended campaign is *bit-identical* to the single-task
+    /// protocol (and enjoys its throughput).  The contended interleaving
+    /// engine reproduces the same results (pinned by the
+    /// `contention_equivalence` test suite); the fast path just gets them
+    /// at batched speed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the platform configuration is invalid.
+    pub fn run_contended<S>(&self, sources: &[S], seeds: &[u64]) -> Result<ContendedResult, ConfigError>
+    where
+        S: EventSource,
+    {
+        self.config.validate()?;
+        self.run_contended_validated(sources, seeds)
+    }
+
+    /// [`Self::run_contended`] over this campaign's default seed schedule
+    /// — the same `runs`-long [`SeedSequence`] draw as [`Self::run`], so a
+    /// solo co-schedule reproduces `run()` bit for bit and a fixed
+    /// contended campaign is the documented superset of
+    /// [`Self::run_contended_adaptive`]'s prefix.  The schedule convention
+    /// lives here, in one place, rather than in every caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the platform configuration is invalid.
+    pub fn run_contended_campaign<S>(&self, sources: &[S]) -> Result<ContendedResult, ConfigError>
+    where
+        S: EventSource,
+    {
+        self.config.validate()?;
+        let seeds: Vec<u64> = SeedSequence::new(self.campaign_seed).take(self.runs).collect();
+        self.run_contended_validated(sources, &seeds)
+    }
+
+    /// The contended worker pool; the configuration is already validated
+    /// by the public entry points.
+    fn run_contended_validated<S>(
+        &self,
+        sources: &[S],
+        seeds: &[u64],
+    ) -> Result<ContendedResult, ConfigError>
+    where
+        S: EventSource,
+    {
+        if sources.is_empty() || seeds.is_empty() {
+            return Ok(ContendedResult::default());
+        }
+        let tasks = sources.len();
+        // Idle co-schedule: no opponent emits an event, so the shared L2
+        // sees only the victim — route through the batched solo engine.
+        if sources[1..].iter().all(|s| s.events().next().is_none()) {
+            let solo = self.run_seeds_validated(&sources[0], seeds)?;
+            return Ok(ContendedResult::from_runs(
+                solo.runs()
+                    .iter()
+                    .map(|run| {
+                        let mut task_runs = vec![
+                            TaskRun {
+                                cycles: 0,
+                                stats: HierarchyStats::default(),
+                            };
+                            tasks
+                        ];
+                        task_runs[0] = TaskRun {
+                            cycles: run.cycles,
+                            stats: run.stats,
+                        };
+                        ContendedRun {
+                            seed: run.seed,
+                            tasks: task_runs,
+                        }
+                    })
+                    .collect(),
+            ));
+        }
+        let config = self.config;
+        let arbitration = self.arbitration;
+        let runs = scoped_chunks(seeds, self.threads, |chunk| {
+            let mut core = ContentionCore::new(&config, tasks, arbitration)?;
+            let mut out = Vec::with_capacity(chunk.len());
+            for &seed in chunk {
+                let streams: Vec<_> = sources.iter().map(|s| s.events()).collect();
+                let task_runs = core
+                    .execute_contended(streams, seed)
+                    .into_iter()
+                    .map(|(cycles, stats)| TaskRun { cycles, stats })
+                    .collect();
+                out.push(ContendedRun {
+                    seed,
+                    tasks: task_runs,
+                });
+            }
+            Ok(out)
+        })?;
+        Ok(ContendedResult::from_runs(runs))
+    }
+
+    /// Convergence-driven contended campaign: grows the seed schedule (in
+    /// the same deterministic [`SeedSequence`] order as [`Self::run`])
+    /// until the *victim's* pWCET estimate stabilises under `criterion`,
+    /// mirroring [`Self::run_adaptive`] for the shared-L2 platform.  The
+    /// collected runs are a bit-identical prefix of a fixed-size
+    /// [`Self::run_contended`] schedule with the same campaign seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the platform configuration is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the criterion is malformed (see
+    /// [`ConvergenceTracker::new`]).
+    pub fn run_contended_adaptive<S>(
+        &self,
+        sources: &[S],
+        criterion: &ConvergenceCriterion,
+    ) -> Result<ContendedAdaptiveResult, ConfigError>
+    where
+        S: EventSource,
+    {
+        self.config.validate()?;
+        let (runs, tracker) = self.run_adaptive_schedule(
+            criterion,
+            |batch| self.run_contended_validated(sources, batch).map(|result| result.runs),
+            |run| run.tasks[0].cycles,
+        )?;
+        Ok(ContendedAdaptiveResult {
+            result: ContendedResult::from_runs(runs),
+            converged: tracker.is_converged(),
+            pwcet_estimate: tracker.current_estimate(),
+            trajectory: tracker.trajectory().to_vec(),
+        })
     }
 
     /// Runs the convergence-driven variant of the MBPTA protocol: the seed
@@ -364,29 +734,11 @@ impl Campaign {
         S: EventSource + ?Sized,
     {
         self.config.validate()?;
-        let mut tracker = ConvergenceTracker::new(*criterion);
-        let max_runs = criterion.max_runs.max(1);
-        let mut seeds = SeedSequence::new(self.campaign_seed);
-        let mut runs: Vec<RunResult> = Vec::new();
-        // First batch: everything up to the criterion's floor (the first
-        // possible checkpoint); afterwards one checkpoint interval at a
-        // time.
-        let mut planned = criterion.min_runs.max(1).min(max_runs);
-        loop {
-            let batch: Vec<u64> = seeds.by_ref().take(planned - runs.len()).collect();
-            let batch_result = self.run_seeds_validated(source, &batch)?;
-            for run in batch_result.runs() {
-                tracker.push(run.cycles);
-            }
-            runs.extend_from_slice(batch_result.runs());
-            if tracker.is_converged() || runs.len() >= max_runs {
-                break;
-            }
-            planned = (runs.len() + criterion.check_interval.max(1)).min(max_runs);
-        }
-        // Make sure the trajectory ends with an estimate over the full
-        // sample (the cap can land between checkpoints).
-        tracker.finalize();
+        let (runs, tracker) = self.run_adaptive_schedule(
+            criterion,
+            |batch| self.run_seeds_validated(source, batch).map(|result| result.runs),
+            |run| run.cycles,
+        )?;
         Ok(AdaptiveResult {
             result: CampaignResult::from_runs(runs),
             converged: tracker.is_converged(),
@@ -414,42 +766,23 @@ impl Campaign {
         F: Fn(usize) -> S + Sync,
     {
         self.config.validate()?;
-        if layouts == 0 {
-            return Ok(CampaignResult::default());
-        }
-        let threads = self.threads.min(layouts).max(1);
-        let chunk_size = layouts.div_ceil(threads);
         let config = self.config;
-        let build = &build;
-        let mut results: Vec<Vec<RunResult>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..layouts)
-                .step_by(chunk_size)
-                .map(|start| {
-                    let end = (start + chunk_size).min(layouts);
-                    scope.spawn(move || -> Result<Vec<RunResult>, ConfigError> {
-                        let mut core = InOrderCore::new(&config)?;
-                        let mut out = Vec::with_capacity(end - start);
-                        for index in start..end {
-                            let layout_trace = build(index);
-                            let (cycles, stats) = core.execute_isolated(layout_trace.events(), 0);
-                            out.push(RunResult {
-                                seed: index as u64,
-                                cycles,
-                                stats,
-                            });
-                        }
-                        Ok(out)
-                    })
-                })
-                .collect();
-            for handle in handles {
-                let chunk_result = handle.join().expect("campaign worker thread panicked");
-                results.push(chunk_result?);
+        let indices: Vec<usize> = (0..layouts).collect();
+        let runs = scoped_chunks(&indices, self.threads, |chunk| {
+            let mut core = InOrderCore::new(&config)?;
+            let mut out = Vec::with_capacity(chunk.len());
+            for &index in chunk {
+                let layout_trace = build(index);
+                let (cycles, stats) = core.execute_isolated(layout_trace.events(), 0);
+                out.push(RunResult {
+                    seed: index as u64,
+                    cycles,
+                    stats,
+                });
             }
-            Ok::<(), ConfigError>(())
+            Ok(out)
         })?;
-        Ok(CampaignResult::from_runs(results.into_iter().flatten().collect()))
+        Ok(CampaignResult::from_runs(runs))
     }
 
     /// Collecting adapter for pre-materialised layout sweeps: every entry
@@ -659,6 +992,148 @@ mod tests {
             result.max_cycles() > result.min_cycles(),
             "no execution-time variability across 20 random layouts"
         );
+    }
+
+    fn opponent_trace() -> Trace {
+        let mut trace = Trace::new();
+        for i in 0..3000u64 {
+            trace.load(Address::new(0x40_0000 + (i % 4096) * 32));
+        }
+        trace
+    }
+
+    #[test]
+    fn contended_campaign_produces_per_task_runs() {
+        let campaign = Campaign::new(
+            PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo),
+            0,
+        )
+        .with_threads(2);
+        let sources = [stress_trace(), opponent_trace()];
+        let seeds = [1u64, 2, 3, 4, 5];
+        let result = campaign.run_contended(&sources, &seeds).unwrap();
+        assert_eq!(result.len(), 5);
+        assert_eq!(result.task_count(), 2);
+        let recorded: Vec<u64> = result.runs().iter().map(|r| r.seed).collect();
+        assert_eq!(recorded, seeds);
+        for run in result.runs() {
+            assert!(run.tasks[0].cycles > 0 && run.tasks[1].cycles > 0);
+            let aggregate = run.aggregate_stats();
+            assert_eq!(
+                aggregate.l2.accesses,
+                run.tasks[0].stats.l2.accesses + run.tasks[1].stats.l2.accesses
+            );
+        }
+        assert!(result.to_string().contains("contended runs"));
+    }
+
+    #[test]
+    fn contended_campaign_is_thread_invariant() {
+        for arbitration in crate::contention::Arbitration::ALL {
+            let sources = [stress_trace(), opponent_trace()];
+            let seeds: Vec<u64> = (0..7).collect();
+            let run = |threads: usize| {
+                Campaign::new(PlatformConfig::leon3(), 0)
+                    .with_threads(threads)
+                    .with_arbitration(arbitration)
+                    .run_contended(&sources, &seeds)
+                    .unwrap()
+            };
+            assert_eq!(run(1), run(4), "{arbitration}");
+        }
+    }
+
+    #[test]
+    fn solo_contended_campaign_matches_run_seeds_bit_for_bit() {
+        // The acceptance criterion: one task plus an idle opponent must
+        // reproduce the single-task batched protocol exactly.
+        let campaign = Campaign::new(
+            PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo),
+            0,
+        )
+        .with_threads(2);
+        let victim = stress_trace();
+        let seeds = [9u64, 8, 7, 6];
+        let solo = campaign.run_seeds(&victim, &seeds).unwrap();
+        let contended = campaign
+            .run_contended(&[victim.clone(), Trace::new()], &seeds)
+            .unwrap();
+        assert_eq!(contended.victim_result(), solo);
+        for run in contended.runs() {
+            assert_eq!(run.tasks[1], TaskRun { cycles: 0, stats: HierarchyStats::default() });
+        }
+    }
+
+    #[test]
+    fn contended_campaign_default_schedule_matches_run() {
+        // `run_contended_campaign` owns the default-schedule convention:
+        // a solo co-schedule must reproduce `run()` bit for bit.
+        let campaign = Campaign::new(
+            PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo),
+            7,
+        )
+        .with_campaign_seed(17)
+        .with_threads(2);
+        let victim = stress_trace();
+        let solo = campaign.run(&victim).unwrap();
+        let contended = campaign
+            .run_contended_campaign(&[victim.clone(), Trace::new()])
+            .unwrap();
+        assert_eq!(contended.victim_result(), solo);
+        assert_eq!(contended.len(), 7);
+    }
+
+    #[test]
+    fn contended_result_accessors_and_empty_cases() {
+        let campaign = Campaign::new(PlatformConfig::leon3(), 0);
+        assert!(campaign
+            .run_contended::<Trace>(&[], &[1, 2])
+            .unwrap()
+            .is_empty());
+        assert!(campaign
+            .run_contended(&[stress_trace()], &[])
+            .unwrap()
+            .is_empty());
+        assert_eq!(ContendedResult::default().task_count(), 0);
+        assert_eq!(
+            campaign.with_arbitration(crate::contention::Arbitration::SeededRandom).arbitration(),
+            crate::contention::Arbitration::SeededRandom
+        );
+        let flat: Vec<u64> = ContendedResult::from_runs(vec![ContendedRun {
+            seed: 1,
+            tasks: vec![
+                TaskRun { cycles: 10, stats: HierarchyStats::default() },
+                TaskRun { cycles: 20, stats: HierarchyStats::default() },
+            ],
+        }])
+        .flat_cycles_iter()
+        .collect();
+        assert_eq!(flat, vec![10, 20]);
+    }
+
+    #[test]
+    fn contended_adaptive_runs_are_a_prefix_of_the_fixed_schedule() {
+        use randmod_mbpta::online::ConvergenceCriterion;
+        let campaign = Campaign::new(
+            PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo),
+            0,
+        )
+        .with_campaign_seed(31)
+        .with_threads(2);
+        let sources = [stress_trace(), opponent_trace()];
+        let criterion = ConvergenceCriterion::default()
+            .with_min_runs(10)
+            .with_check_interval(5)
+            .with_max_runs(25)
+            .with_block_size(5);
+        let adaptive = campaign.run_contended_adaptive(&sources, &criterion).unwrap();
+        assert!(adaptive.runs_used() >= 10 && adaptive.runs_used() <= 25);
+        assert!(!adaptive.trajectory().is_empty());
+        assert!(adaptive.pwcet_estimate() > 0.0);
+        // Prefix identity against the fixed schedule.
+        let seeds: Vec<u64> = SeedSequence::new(31).take(adaptive.runs_used()).collect();
+        let fixed = campaign.run_contended(&sources, &seeds).unwrap();
+        assert_eq!(adaptive.result(), &fixed);
     }
 
     #[test]

@@ -6,51 +6,12 @@
 //! arbitrary traces and seed sets.  These properties pin the tentpole
 //! guarantee of the data-oriented replay engine.
 
+mod common;
+
+use common::{event_strategy, expand, platform};
 use proptest::prelude::*;
 use randmod_core::{Address, PlacementKind, ReplacementKind, WritePolicy};
-use randmod_sim::trace::MemEvent;
 use randmod_sim::{BatchCore, Campaign, InOrderCore, PackedTrace, PlatformConfig, Trace};
-
-/// Strategy: one trace event biased towards cache-stressing reads, with
-/// addresses spread over a few hundred KB so all three levels see
-/// traffic, plus a repeat count so traces contain genuine same-line read
-/// runs (the batched engine's run-collapse fast path).
-fn event_strategy() -> impl Strategy<Value = (MemEvent, usize)> {
-    (0u64..8, 0u64..16_384, 1usize..6).prop_map(|(kind, slot, repeats)| {
-        let addr = Address::new(0x1_0000 + slot * 32);
-        let event = match kind {
-            0..=2 => MemEvent::InstrFetch(addr),
-            3..=5 => MemEvent::Load(addr),
-            6 => MemEvent::Store(addr),
-            _ => MemEvent::Compute((slot % 7 + 1) as u32),
-        };
-        (event, repeats)
-    })
-}
-
-/// Expands `(event, repeats)` pairs into a trace; repeated reads of one
-/// address are exactly the same-line runs the engine collapses.
-fn expand(events: &[(MemEvent, usize)]) -> Trace {
-    events
-        .iter()
-        .flat_map(|&(event, repeats)| (0..repeats).map(move |_| event))
-        .collect()
-}
-
-/// A platform on the LEON3 geometry with every policy knob set from the
-/// strategy inputs.
-fn platform(
-    placement: PlacementKind,
-    replacement: ReplacementKind,
-    l1_write: WritePolicy,
-) -> PlatformConfig {
-    let mut config = PlatformConfig::leon3()
-        .with_l1_placement(placement)
-        .with_replacement(replacement);
-    config.il1.write_policy = l1_write;
-    config.dl1.write_policy = l1_write;
-    config
-}
 
 /// A fixed cache-stressing trace for the deterministic edge-case tests.
 fn stress_trace() -> Trace {

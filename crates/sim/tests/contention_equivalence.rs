@@ -1,0 +1,112 @@
+//! Solo-task equivalence of the contention engine.
+//!
+//! The acceptance property of the shared-L2 platform: a contended campaign
+//! with one real task and idle (empty-trace) opponents must reproduce the
+//! single-task protocol **bit-identically** — same cycles, same per-run
+//! `HierarchyStats` — for every placement policy and both arbitration
+//! policies.  Two layers are pinned:
+//!
+//! * `ContentionCore` itself (the interleaving engine, no fast path)
+//!   against the sequential `InOrderCore` reference, and
+//! * `Campaign::run_contended` (which routes idle co-schedules through the
+//!   batched `BatchCore` pool) against `Campaign::run_seeds`.
+
+mod common;
+
+use common::{event_strategy, expand};
+use proptest::prelude::*;
+use randmod_core::{Address, PlacementKind};
+use randmod_sim::contention::{Arbitration, ContentionCore};
+use randmod_sim::{Campaign, InOrderCore, PlatformConfig, Trace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The interleaving engine with idle opponents is the sequential
+    /// single-task engine, for every placement × arbitration and arbitrary
+    /// traces/seeds.
+    #[test]
+    fn contention_core_with_idle_opponents_matches_in_order_core(
+        events in prop::collection::vec(event_strategy(), 1..300),
+        seeds in prop::collection::vec(any::<u64>(), 1..5),
+        placement_index in 0usize..4,
+        seeded_random in any::<bool>(),
+        opponents in 1usize..3,
+    ) {
+        let placement = PlacementKind::ALL[placement_index];
+        let config = PlatformConfig::leon3().with_l1_placement(placement);
+        let arbitration = if seeded_random {
+            Arbitration::SeededRandom
+        } else {
+            Arbitration::RoundRobin
+        };
+        let trace = expand(&events);
+        let mut contended = ContentionCore::new(&config, 1 + opponents, arbitration).unwrap();
+        let mut reference = InOrderCore::new(&config).unwrap();
+        for &seed in &seeds {
+            let mut streams = vec![trace.iter().copied()];
+            streams.extend((0..opponents).map(|_| [].iter().copied()));
+            let results = contended.execute_contended(streams, seed);
+            let (ref_cycles, ref_stats) = reference.execute_isolated(&trace, seed);
+            prop_assert_eq!(results[0], (ref_cycles, ref_stats));
+            for idle in &results[1..] {
+                prop_assert_eq!(idle.0, 0);
+            }
+        }
+    }
+
+    /// `run_contended` with an idle co-schedule is `run_seeds`, across the
+    /// threads knob and both arbitration policies.
+    #[test]
+    fn run_contended_solo_matches_run_seeds(
+        events in prop::collection::vec(event_strategy(), 1..250),
+        campaign_seed in any::<u64>(),
+        placement_index in 0usize..4,
+    ) {
+        let placement = PlacementKind::ALL[placement_index];
+        let config = PlatformConfig::leon3().with_l1_placement(placement);
+        let trace = expand(&events);
+        let seeds: Vec<u64> = (0..9u64).map(|i| campaign_seed ^ (i * 0x9E37_79B9)).collect();
+        let reference = Campaign::new(config, 0)
+            .with_threads(2)
+            .run_seeds(&trace, &seeds)
+            .unwrap();
+        for arbitration in Arbitration::ALL {
+            for threads in [1usize, 3] {
+                let contended = Campaign::new(config, 0)
+                    .with_threads(threads)
+                    .with_arbitration(arbitration)
+                    .run_contended(&[trace.clone(), Trace::new()], &seeds)
+                    .unwrap();
+                prop_assert_eq!(contended.victim_result(), reference.clone());
+            }
+        }
+    }
+}
+
+/// A contended campaign is a pure function of its seeds: identical seeds
+/// give identical per-task outcomes within one campaign, and re-running
+/// the campaign reproduces every run exactly (the seeded-random schedule
+/// depends on the run seed, never on thread timing).
+#[test]
+fn contended_schedule_is_a_pure_function_of_the_seed() {
+    let config = PlatformConfig::leon3().with_l1_placement(PlacementKind::RandomModulo);
+    let mut victim = Trace::new();
+    let mut opponent = Trace::new();
+    for i in 0..2_000u64 {
+        victim.fetch(Address::new(0x1000 + (i % 32) * 32));
+        victim.load(Address::new(0x10_0000 + (i % 1024) * 32));
+        opponent.load(Address::new(0x80_0000 + (i % 4096) * 32));
+    }
+    let sources = [victim, opponent];
+    for arbitration in Arbitration::ALL {
+        let campaign = Campaign::new(config, 0).with_arbitration(arbitration);
+        let result = campaign.run_contended(&sources, &[5, 5, 9]).unwrap();
+        // Identical seeds → identical task outcomes within one campaign.
+        assert_eq!(result.runs()[0].tasks, result.runs()[1].tasks, "{arbitration}");
+        // A different seed changes the layout (and generally the outcome),
+        // but re-running the campaign reproduces everything.
+        let again = campaign.run_contended(&sources, &[5, 5, 9]).unwrap();
+        assert_eq!(result, again, "{arbitration}");
+    }
+}

@@ -1,0 +1,351 @@
+//! The differential reference model: a deliberately naive, allocation-happy
+//! re-implementation of the cache hierarchy, used as a standing oracle for
+//! the optimised engines.
+//!
+//! `RefCache`/`RefHierarchy` share **no code** with the production model's
+//! hot paths: per-set `Vec`s of line slots instead of flat SoA arrays, a
+//! textbook move-to-front LRU list instead of packed rank vectors, boxed
+//! `dyn PlacementPolicy` dispatch instead of the static enum (which also
+//! bypasses RM's per-segment permutation memo), no MRU read filter, no
+//! run collapsing, no lean counter blocks.  What they *do* share is the
+//! specification: the same placement mathematics, the same
+//! seed→layout derivation, the same replacement and write-policy
+//! semantics, the same latency charging.
+//!
+//! The proptests assert cycle- and stats-equality of the reference against
+//! both production engines — the sequential `InOrderCore` and the batched
+//! `BatchCore` — across arbitrary traces × all four placements ×
+//! {LRU, Random} replacement × {write-through, write-back} L1s.  Any
+//! future engine optimisation that changes an observable number fails
+//! here first.
+//!
+//! `REFERENCE_MODEL_CASES` (env) scales the proptest case count; CI runs
+//! this suite with a larger budget than the local default.
+
+mod common;
+
+use common::{event_strategy, expand, platform};
+use proptest::prelude::*;
+use randmod_core::placement::PlacementPolicy;
+use randmod_core::prng::{CombinedLfsr, SplitMix64};
+use randmod_core::{Address, CacheGeometry, CacheStats, PlacementKind, ReplacementKind, WritePolicy};
+use randmod_sim::hierarchy::HierarchyStats;
+use randmod_sim::trace::MemEvent;
+use randmod_sim::{BatchCore, InOrderCore, PlatformConfig, Trace};
+
+/// One resident line of the reference model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RefLine {
+    line: u64,
+    dirty: bool,
+}
+
+/// A naive set-associative cache: one `Vec<Option<RefLine>>` per set plus
+/// a move-to-front recency list per set.
+struct RefCache {
+    geometry: CacheGeometry,
+    placement: Box<dyn PlacementPolicy>,
+    replacement: ReplacementKind,
+    write_policy: WritePolicy,
+    /// `slots[set][way]` — the resident line of that way, if any.
+    slots: Vec<Vec<Option<RefLine>>>,
+    /// `recency[set]` — way indices, most recent first (LRU victim at the
+    /// back).  Maintained for every policy, consulted only by LRU.
+    recency: Vec<Vec<u32>>,
+    rng: CombinedLfsr,
+    stats: CacheStats,
+}
+
+impl RefCache {
+    fn new(
+        geometry: CacheGeometry,
+        placement: PlacementKind,
+        replacement: ReplacementKind,
+        write_policy: WritePolicy,
+    ) -> Self {
+        let sets = geometry.sets() as usize;
+        let ways = geometry.ways() as usize;
+        RefCache {
+            geometry,
+            placement: placement.build(geometry).expect("buildable placement"),
+            replacement,
+            write_policy,
+            slots: vec![vec![None; ways]; sets],
+            recency: (0..sets).map(|_| (0..ways as u32).collect()).collect(),
+            rng: CombinedLfsr::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Mirrors `SetAssocCache::reseed`: new placement layout, fresh
+    /// replacement RNG (same salt), full flush.
+    fn reseed(&mut self, seed: u64) {
+        self.placement.reseed(seed);
+        self.rng = CombinedLfsr::new(seed ^ 0x5EED_5EED_5EED_5EED);
+        for set in &mut self.slots {
+            set.fill(None);
+        }
+        for order in &mut self.recency {
+            *order = (0..self.geometry.ways()).collect();
+        }
+        self.stats.flushes += 1;
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn touch(&mut self, set: usize, way: u32) {
+        let order = &mut self.recency[set];
+        let position = order.iter().position(|&w| w == way).expect("way in list");
+        order.remove(position);
+        order.insert(0, way);
+    }
+
+    /// One access; returns `(hit, latency-relevant miss info unused by the
+    /// caller — the hierarchy recomputes it from `hit`)`.
+    fn access(&mut self, addr: Address, is_write: bool) -> bool {
+        let line = self.geometry.line_addr(addr).raw();
+        let set = self.placement.set_index_of_line(self.geometry.line_addr(addr)) as usize;
+        self.stats.accesses += 1;
+        if is_write {
+            self.stats.stores += 1;
+        }
+
+        // Probe every way, the naive way.
+        if let Some(way) = self.slots[set]
+            .iter()
+            .position(|slot| slot.map(|l| l.line) == Some(line))
+        {
+            self.stats.hits += 1;
+            self.touch(set, way as u32);
+            if is_write && self.write_policy == WritePolicy::WriteBack {
+                self.slots[set][way].as_mut().expect("hit line").dirty = true;
+            }
+            return true;
+        }
+
+        self.stats.misses += 1;
+        // Write-through store misses do not allocate.
+        if is_write && self.write_policy == WritePolicy::WriteThrough {
+            return false;
+        }
+
+        // Prefer the first invalid way, exactly like the production probe.
+        let way = if let Some(invalid) = self.slots[set].iter().position(Option::is_none) {
+            invalid
+        } else {
+            match self.replacement {
+                ReplacementKind::Random => self.rng.next_below(self.geometry.ways()) as usize,
+                ReplacementKind::Lru => *self.recency[set].last().expect("non-empty set") as usize,
+                ReplacementKind::RoundRobin => {
+                    unimplemented!("the reference model covers LRU and Random")
+                }
+            }
+        };
+        if let Some(victim) = self.slots[set][way] {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        self.slots[set][way] = Some(RefLine {
+            line,
+            dirty: is_write && self.write_policy == WritePolicy::WriteBack,
+        });
+        self.stats.fills += 1;
+        self.touch(set, way as u32);
+        false
+    }
+}
+
+/// A naive two-level hierarchy mirroring `MemoryHierarchy`'s latency and
+/// routing specification.
+struct RefHierarchy {
+    config: PlatformConfig,
+    il1: RefCache,
+    dl1: RefCache,
+    l2: RefCache,
+    memory_accesses: u64,
+}
+
+impl RefHierarchy {
+    fn new(config: PlatformConfig) -> Self {
+        let build = |c: &randmod_sim::CacheConfig| {
+            RefCache::new(c.geometry, c.placement, c.replacement, c.write_policy)
+        };
+        RefHierarchy {
+            config,
+            il1: build(&config.il1),
+            dl1: build(&config.dl1),
+            l2: build(&config.l2),
+            memory_accesses: 0,
+        }
+    }
+
+    /// Mirrors `MemoryHierarchy::reseed`'s per-cache seed derivation.
+    fn reseed(&mut self, seed: u64) {
+        let mut sm = SplitMix64::new(seed);
+        self.il1.reseed(sm.next_u64());
+        self.dl1.reseed(sm.next_u64());
+        self.l2.reseed(sm.next_u64());
+    }
+
+    fn reset_stats(&mut self) {
+        self.il1.reset_stats();
+        self.dl1.reset_stats();
+        self.l2.reset_stats();
+        self.memory_accesses = 0;
+    }
+
+    fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            il1: self.il1.stats,
+            dl1: self.dl1.stats,
+            l2: self.l2.stats,
+            memory_accesses: self.memory_accesses,
+        }
+    }
+
+    fn access(&mut self, event: MemEvent) -> u64 {
+        let lat = self.config.latencies;
+        match event {
+            MemEvent::Compute(cycles) => cycles as u64,
+            MemEvent::InstrFetch(addr) => {
+                if self.il1.access(addr, false) {
+                    lat.l1_hit as u64
+                } else {
+                    self.fill_from_l2(addr) + lat.l1_hit as u64
+                }
+            }
+            MemEvent::Load(addr) => {
+                if self.dl1.access(addr, false) {
+                    lat.l1_hit as u64
+                } else {
+                    self.fill_from_l2(addr) + lat.l1_hit as u64
+                }
+            }
+            MemEvent::Store(addr) => {
+                self.dl1.access(addr, true);
+                if !self.l2.access(addr, true) {
+                    self.memory_accesses += 1;
+                }
+                lat.store as u64
+            }
+        }
+    }
+
+    fn fill_from_l2(&mut self, addr: Address) -> u64 {
+        let lat = self.config.latencies;
+        if self.l2.access(addr, false) {
+            lat.l2_hit as u64
+        } else {
+            self.memory_accesses += 1;
+            (lat.l2_hit + lat.memory) as u64
+        }
+    }
+
+    /// The reference counterpart of `InOrderCore::execute_isolated`.
+    fn execute_isolated(&mut self, trace: &Trace, seed: u64) -> (u64, HierarchyStats) {
+        self.reseed(seed);
+        self.reset_stats();
+        let mut cycles = 0u64;
+        for event in trace {
+            cycles += self.access(event);
+        }
+        (cycles, self.stats())
+    }
+}
+
+/// Proptest case budget: the local default, or `REFERENCE_MODEL_CASES`
+/// when set (CI runs a larger budget).
+fn cases() -> u32 {
+    std::env::var("REFERENCE_MODEL_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// The naive reference reproduces both production engines exactly —
+    /// cycles and full per-level statistics — for every placement ×
+    /// {LRU, Random} × {WT, WB} over arbitrary traces and seeds.
+    #[test]
+    fn production_engines_match_the_reference_model(
+        events in prop::collection::vec(event_strategy(), 1..350),
+        seeds in prop::collection::vec(any::<u64>(), 1..6),
+        placement_index in 0usize..4,
+        replacement_is_lru in any::<bool>(),
+        write_back_l1 in any::<bool>(),
+    ) {
+        let placement = PlacementKind::ALL[placement_index];
+        let replacement = if replacement_is_lru {
+            ReplacementKind::Lru
+        } else {
+            ReplacementKind::Random
+        };
+        let l1_write = if write_back_l1 {
+            WritePolicy::WriteBack
+        } else {
+            WritePolicy::WriteThrough
+        };
+        let config = platform(placement, replacement, l1_write);
+        let trace = expand(&events);
+
+        let mut reference = RefHierarchy::new(config);
+        let mut sequential = InOrderCore::new(&config).unwrap();
+        let mut batch = BatchCore::new(&config, seeds.len()).unwrap();
+        let batched = batch.execute_batch(&trace, &seeds);
+        for (&seed, &batched_result) in seeds.iter().zip(&batched) {
+            let expected = reference.execute_isolated(&trace, seed);
+            prop_assert_eq!(sequential.execute_isolated(&trace, seed), expected);
+            prop_assert_eq!(batched_result, expected);
+        }
+    }
+}
+
+/// A deterministic heavy case pinning the reference against both engines
+/// on a capacity-stressing trace (runs even when the proptest budget is
+/// tiny, and gives a stable repro target).
+#[test]
+fn reference_model_agrees_on_a_capacity_stressing_trace() {
+    let mut trace = Trace::new();
+    for repeat in 0..2u64 {
+        for i in 0..900u64 {
+            trace.fetch(Address::new(0x1000 + (i % 40) * 4));
+            trace.load(Address::new(0x10_0000 + i * 36 + repeat));
+            if i % 5 == 0 {
+                trace.store(Address::new(0x20_0000 + (i % 700) * 32));
+            }
+            if i % 11 == 0 {
+                trace.compute(3);
+            }
+        }
+    }
+    let seeds = [0u64, 7, 0xDEAD_BEEF, u64::MAX];
+    for placement in PlacementKind::ALL {
+        for replacement in [ReplacementKind::Lru, ReplacementKind::Random] {
+            for l1_write in [WritePolicy::WriteThrough, WritePolicy::WriteBack] {
+                let config = platform(placement, replacement, l1_write);
+                let mut reference = RefHierarchy::new(config);
+                let mut sequential = InOrderCore::new(&config).unwrap();
+                let mut batch = BatchCore::new(&config, seeds.len()).unwrap();
+                let batched = batch.execute_batch(&trace, &seeds);
+                for (&seed, &batched_result) in seeds.iter().zip(&batched) {
+                    let expected = reference.execute_isolated(&trace, seed);
+                    assert_eq!(
+                        sequential.execute_isolated(&trace, seed),
+                        expected,
+                        "sequential diverged from the reference: {placement}/{replacement}/{l1_write:?} seed {seed}"
+                    );
+                    assert_eq!(
+                        batched_result, expected,
+                        "batched diverged from the reference: {placement}/{replacement}/{l1_write:?} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+}

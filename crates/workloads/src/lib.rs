@@ -21,6 +21,9 @@
 //! * [`synthetic`] — the vector-traversal kernel of Figure 5 with 8KB,
 //!   20KB and 160KB footprints, extended with 1MB and 4MB variants beyond
 //!   the paper's operating point.
+//! * [`coschedule`] — co-runner composition for the shared-L2 contention
+//!   campaigns: a victim kernel paired with idle, stress or synthetic
+//!   opponents ([`CoSchedule`], [`Opponent`]).
 //!
 //! ## Quick example
 //!
@@ -35,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod coschedule;
 pub mod eembc;
 pub mod layout;
 pub mod synthetic;
 
 pub use builder::KernelBuilder;
+pub use coschedule::{CoSchedule, Opponent};
 pub use eembc::{EembcBenchmark, EembcStress};
 pub use layout::{LayoutSweep, MemoryLayout};
 pub use synthetic::SyntheticKernel;
