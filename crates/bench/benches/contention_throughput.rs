@@ -2,11 +2,22 @@
 //!
 //! Replays the `fig6_contention` victim (the 20KB synthetic kernel)
 //! co-scheduled against the stress opponent ladder through
-//! [`Campaign::run_contended`], for both arbitration policies, on one
-//! worker thread.  Before timing anything the bench asserts the solo
-//! equivalence gate — a contended campaign with an idle opponent must
-//! reproduce `run_seeds` bit-for-bit — so this bench doubles as the CI
-//! smoke check of the contention engine's defining invariant.
+//! [`Campaign::run_contended`], on one worker thread, in three engine
+//! configurations per pressure level:
+//!
+//! * `round-robin/batched` — the default lane count, i.e. the
+//!   lane-batched [`BatchContentionCore`] path (one interleave per
+//!   campaign, replayed across placement-seed lanes);
+//! * `round-robin/scalar` — `with_lanes(1)`, the sequential per-seed
+//!   [`ContentionCore`] escape hatch (the pre-lane-batching record);
+//! * `seeded-random` — the seed-dependent schedule, always scalar.
+//!
+//! Before timing anything the bench asserts two equivalence gates, so it
+//! doubles as the CI smoke check of the contention engine's defining
+//! invariants: a contended campaign with an idle opponent must reproduce
+//! `run_seeds` bit-for-bit (on the batched *and* the scalar engine), and
+//! the batched round-robin path must reproduce the scalar per-seed
+//! engine bit-for-bit on a real co-schedule.
 //!
 //! In bench mode it prints a `throughput:` line per configuration in
 //! events/second (total interleaved events across all tasks).
@@ -60,7 +71,8 @@ fn contention_throughput(c: &mut Criterion) {
             .with_arbitration(arbitration)
     };
 
-    // Equivalence gate: an idle co-schedule is the solo protocol.
+    // Solo-equivalence gate: an idle co-schedule is the solo protocol —
+    // on the batched engine (default lanes) and the scalar escape hatch.
     let victim = SyntheticKernel::fits_l2();
     let solo_sources: Vec<PackedTrace> =
         CoSchedule::pressure_level(victim, 0).packed_traces(&MemoryLayout::default());
@@ -69,16 +81,44 @@ fn contention_throughput(c: &mut Criterion) {
         .run_seeds(&solo_sources[0], gate_seeds)
         .expect("valid platform");
     for arbitration in Arbitration::ALL {
-        let contended = campaign(arbitration)
-            .run_contended(&solo_sources, gate_seeds)
-            .expect("valid platform");
-        assert_eq!(
-            contended.victim_result(),
-            reference,
-            "solo contended campaign diverged from run_seeds under {arbitration}"
-        );
+        for lanes in [None, Some(1)] {
+            let mut solo_campaign = campaign(arbitration);
+            if let Some(lanes) = lanes {
+                solo_campaign = solo_campaign.with_lanes(lanes);
+            }
+            let contended = solo_campaign
+                .run_contended(&solo_sources, gate_seeds)
+                .expect("valid platform");
+            assert_eq!(
+                contended.victim_result(),
+                reference,
+                "solo contended campaign diverged from run_seeds under {arbitration} (lanes {lanes:?})"
+            );
+        }
     }
 
+    // Batched-vs-scalar gate: on a real co-schedule, the lane-batched
+    // round-robin engine must reproduce the scalar per-seed engine
+    // bit-for-bit.
+    let gate_sources: Vec<PackedTrace> =
+        CoSchedule::pressure_level(victim, 2).packed_traces(&MemoryLayout::default());
+    let batched = campaign(Arbitration::RoundRobin)
+        .run_contended(&gate_sources, gate_seeds)
+        .expect("valid platform");
+    let scalar = campaign(Arbitration::RoundRobin)
+        .with_lanes(1)
+        .run_contended(&gate_sources, gate_seeds)
+        .expect("valid platform");
+    assert_eq!(
+        batched, scalar,
+        "lane-batched round-robin campaign diverged from the scalar per-seed engine"
+    );
+
+    let configurations: [(&str, Arbitration, Option<usize>); 3] = [
+        ("round-robin/batched", Arbitration::RoundRobin, None),
+        ("round-robin/scalar", Arbitration::RoundRobin, Some(1)),
+        ("seeded-random", Arbitration::SeededRandom, None),
+    ];
     let mut group = c.benchmark_group("contention_throughput");
     group.sample_size(10);
     for pressure in [2usize, 3] {
@@ -86,33 +126,36 @@ fn contention_throughput(c: &mut Criterion) {
             CoSchedule::pressure_level(victim, pressure).packed_traces(&MemoryLayout::default());
         let events: u64 = sources.iter().map(|t| t.len() as u64).sum();
         group.throughput(Throughput::Elements(events * runs as u64));
-        for arbitration in Arbitration::ALL {
+        for (label, arbitration, lanes) in configurations {
+            let build = || {
+                let mut c = campaign(arbitration);
+                if let Some(lanes) = lanes {
+                    c = c.with_lanes(lanes);
+                }
+                c
+            };
             if bench_mode() {
                 let start = Instant::now();
                 black_box(
-                    campaign(arbitration)
-                        .run_contended(&sources, &seed_list)
-                        .expect("valid platform"),
+                    build().run_contended(&sources, &seed_list).expect("valid platform"),
                 );
                 let elapsed = start.elapsed().as_secs_f64();
                 println!(
                     "throughput: contended/P{}/{} {:.3e} events/sec ({} runs x {} events)",
                     pressure,
-                    arbitration,
+                    label,
                     (events * runs as u64) as f64 / elapsed,
                     runs,
                     events
                 );
             }
             group.bench_with_input(
-                BenchmarkId::new(format!("P{pressure}"), format!("{arbitration}")),
+                BenchmarkId::new(format!("P{pressure}"), label),
                 &sources,
                 |b, sources| {
                     b.iter(|| {
                         black_box(
-                            campaign(arbitration)
-                                .run_contended(sources, &seed_list)
-                                .expect("valid platform"),
+                            build().run_contended(sources, &seed_list).expect("valid platform"),
                         )
                     })
                 },

@@ -595,6 +595,21 @@ impl SetAssocCache {
             .flags
     }
 
+    /// [`Self::access_lean`] with the line address precomputed by the
+    /// caller.
+    ///
+    /// The lane-batched replay engines decode each event once and fan it
+    /// out across `K` per-seed hierarchies; hoisting the `addr → line`
+    /// reduction out of the per-lane loop pays it once per decoded event
+    /// instead of once per lane.  `line` must equal
+    /// `self.geometry().line_addr(addr)` of the accessed address — the
+    /// placement layout maps lines, so a mismatched line simply accesses a
+    /// different one.
+    #[inline]
+    pub fn access_lean_line(&mut self, line: LineAddr, kind: AccessKind) -> AccessFlags {
+        self.access_raw(line, kind.is_write()).flags
+    }
+
     /// Returns the set index the current layout assigns to `addr`.
     pub fn set_index_of(&self, addr: Address) -> u32 {
         self.placement.set_index(addr)

@@ -463,6 +463,27 @@ mod tests {
     }
 
     #[test]
+    fn contended_lane_override_does_not_change_the_sample() {
+        use randmod_workloads::CoSchedule;
+        // --lanes on a contended campaign switches between the scalar
+        // engine (1), partial batches and full lane groups; every setting
+        // must reproduce the same per-task samples bit for bit.
+        let kernel = SyntheticKernel::with_traversals(4 * 1024, 2);
+        let schedule = CoSchedule::pressure_level(kernel, 2);
+        let measure_with = |lanes: Option<usize>| {
+            let mut options = crate::cli::ExperimentOptions::default().with_runs(10);
+            if let Some(lanes) = lanes {
+                options = options.with_lanes(lanes);
+            }
+            measure_contended(&schedule, PlacementKind::HashRandom, &options, 7).unwrap()
+        };
+        let default_lanes = measure_with(None);
+        assert_eq!(default_lanes, measure_with(Some(1)));
+        assert_eq!(default_lanes, measure_with(Some(3)));
+        assert_eq!(default_lanes, measure_with(Some(16)));
+    }
+
+    #[test]
     fn contended_adaptive_measurement_is_a_prefix_of_the_fixed_schedule() {
         use randmod_workloads::CoSchedule;
         let kernel = SyntheticKernel::with_traversals(20 * 1024, 3);

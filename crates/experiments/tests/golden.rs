@@ -9,9 +9,11 @@
 //! not statistical expectations.  If an intentional engine change shifts
 //! them, re-measure and update EXPERIMENTS.md *and* these pins together.
 
+use randmod_core::PlacementKind;
 use randmod_experiments::cli::ExperimentOptions;
-use randmod_experiments::{fig1, table2};
-use randmod_workloads::EembcBenchmark;
+use randmod_experiments::fig4::CUTOFF_PROBABILITY;
+use randmod_experiments::{fig1, fig6, runner, table2};
+use randmod_workloads::{CoSchedule, EembcBenchmark};
 
 /// The recorded Figure 1 headline number: pWCET(10⁻¹⁵) = 171,639 cycles
 /// for the 20KB synthetic kernel under RM at the default schedule.
@@ -31,6 +33,44 @@ fn fig1_pwcet_at_cutoff_matches_the_recorded_value() {
     for pair in result.points.windows(2) {
         assert!(pair[0].execution_time <= pair[1].execution_time);
     }
+}
+
+/// The recorded `fig6_contention` RM/P2 cell: the 20KB synthetic victim
+/// against one 128KB stress kernel on a Random-Modulo shared L2, at the
+/// default schedule (300 runs, seed `0xC0FFEE`, round-robin
+/// arbitration) — the EXPERIMENTS.md row "RM ... P2 +3.41%" over its
+/// 163,748-cycle idle baseline.  The cell is computed exactly as
+/// `fig6::generate` computes it (same per-placement campaign seed, same
+/// sample-scaled block size), so the pin covers the contended campaign
+/// pipeline end to end — including the lane-batched round-robin engine
+/// the default lane count selects.
+#[test]
+fn fig6_rm_p2_victim_pwcet_matches_the_recorded_value() {
+    let options = ExperimentOptions::default();
+    let placement = PlacementKind::RandomModulo;
+    let schedule = CoSchedule::pressure_level(fig6::victim(), 2);
+    let measurement = runner::measure_contended(
+        &schedule,
+        placement,
+        &options,
+        options.campaign_seed ^ ((placement as u64) << 8),
+    )
+    .unwrap();
+    let victim = measurement.victim();
+    assert_eq!(victim.len(), 300);
+    let report = runner::analyze_with_block_size(victim, (victim.len() / 20).clamp(5, 50));
+    let pwcet = report.pwcet_at(CUTOFF_PROBABILITY);
+    assert_eq!(
+        pwcet.round() as u64,
+        169_328,
+        "fig6 RM/P2 victim pWCET drifted from the EXPERIMENTS.md record: {pwcet}"
+    );
+    assert_eq!(
+        victim.mean().round() as u64,
+        162_650,
+        "fig6 RM/P2 victim mean drifted: {}",
+        victim.mean()
+    );
 }
 
 /// The recorded Table 2 `cacheb` row — the suite's one statistically

@@ -23,8 +23,9 @@
 
 use crate::config::PlatformConfig;
 use crate::hierarchy::{HierarchyStats, MemoryHierarchy, RunCounters};
+use crate::lanes::{replay_collapsed, LaneStepper};
 use crate::trace::MemEvent;
-use randmod_core::ConfigError;
+use randmod_core::{Address, ConfigError, LineAddr};
 
 /// One seed lane: a full cache hierarchy plus its cycle counter and
 /// per-run statistics block.
@@ -122,84 +123,75 @@ impl BatchCore {
             lane.cycles = 0;
             lane.counters = RunCounters::default();
         }
-        // The hot loop: each event is decoded exactly once, and its kind is
-        // matched exactly once, before fanning out to the lanes.  Runs of
-        // consecutive reads of one cache line (the dominant pattern of
-        // straight-line instruction fetch and sequential data traversal)
-        // are collapsed at decode time: the first access runs in full per
-        // lane; every repeat is then a guaranteed L1 hit in every lane —
-        // the first access left the line resident and a repeat read hit
-        // mutates no cache state (`touch` of the just-touched way is
-        // idempotent for LRU and a no-op otherwise, and reads never dirty
-        // a line) — so each lane just books `repeats` hits and cycles.
-        let mut iter = events.into_iter();
-        let mut pending = iter.next();
-        while let Some(event) = pending {
-            pending = iter.next();
-            match event {
-                MemEvent::InstrFetch(addr) => {
-                    let line = addr.raw() >> self.il1_shift;
-                    let mut repeats = 0u64;
-                    while let Some(MemEvent::InstrFetch(next)) = pending {
-                        if next.raw() >> self.il1_shift != line {
-                            break;
-                        }
-                        repeats += 1;
-                        pending = iter.next();
-                    }
-                    if repeats == 0 {
-                        for lane in active.iter_mut() {
-                            lane.cycles += lane.hierarchy.fetch_lean(addr, &mut lane.counters);
-                        }
-                    } else {
-                        let repeat_cycles = repeats * self.l1_hit;
-                        for lane in active.iter_mut() {
-                            lane.cycles += lane.hierarchy.fetch_lean(addr, &mut lane.counters)
-                                + repeat_cycles;
-                            lane.counters.il1.record_read_hits(repeats);
-                        }
-                    }
-                }
-                MemEvent::Load(addr) => {
-                    let line = addr.raw() >> self.dl1_shift;
-                    let mut repeats = 0u64;
-                    while let Some(MemEvent::Load(next)) = pending {
-                        if next.raw() >> self.dl1_shift != line {
-                            break;
-                        }
-                        repeats += 1;
-                        pending = iter.next();
-                    }
-                    if repeats == 0 {
-                        for lane in active.iter_mut() {
-                            lane.cycles += lane.hierarchy.load_lean(addr, &mut lane.counters);
-                        }
-                    } else {
-                        let repeat_cycles = repeats * self.l1_hit;
-                        for lane in active.iter_mut() {
-                            lane.cycles += lane.hierarchy.load_lean(addr, &mut lane.counters)
-                                + repeat_cycles;
-                            lane.counters.dl1.record_read_hits(repeats);
-                        }
-                    }
-                }
-                MemEvent::Store(addr) => {
-                    for lane in active.iter_mut() {
-                        lane.cycles += lane.hierarchy.store_lean(addr, &mut lane.counters);
-                    }
-                }
-                MemEvent::Compute(cycles) => {
-                    let cycles = cycles as u64;
-                    for lane in active.iter_mut() {
-                        lane.cycles += cycles;
-                    }
-                }
-            }
-        }
+        // The hot loop lives in `crate::lanes::replay_collapsed`: each
+        // event is decoded exactly once — with same-line read runs
+        // collapsed at decode time — before fanning out to the lanes
+        // through the stepper below.
+        let mut stepper = SoloLanes {
+            active,
+            l1_hit: self.l1_hit,
+        };
+        replay_collapsed(events, self.il1_shift, self.dl1_shift, &mut stepper);
         active
             .iter()
             .map(|lane| (lane.cycles, lane.counters.into_stats()))
             .collect()
+    }
+}
+
+/// The solo engine's lane fan-out: every collapsed operation is applied to
+/// each active seed lane (task indices are always 0 on this path).  Each
+/// collapsed repeat is a guaranteed L1 hit booked at `l1_hit` cycles.
+struct SoloLanes<'a> {
+    active: &'a mut [Lane],
+    l1_hit: u64,
+}
+
+impl LaneStepper for SoloLanes<'_> {
+    #[inline]
+    fn fetch(&mut self, _task: usize, addr: Address, line: LineAddr, repeats: u64) {
+        if repeats == 0 {
+            for lane in self.active.iter_mut() {
+                lane.cycles += lane.hierarchy.fetch_lean(addr, line, &mut lane.counters);
+            }
+        } else {
+            let repeat_cycles = repeats * self.l1_hit;
+            for lane in self.active.iter_mut() {
+                lane.cycles +=
+                    lane.hierarchy.fetch_lean(addr, line, &mut lane.counters) + repeat_cycles;
+                lane.counters.il1.record_read_hits(repeats);
+            }
+        }
+    }
+
+    #[inline]
+    fn load(&mut self, _task: usize, addr: Address, line: LineAddr, repeats: u64) {
+        if repeats == 0 {
+            for lane in self.active.iter_mut() {
+                lane.cycles += lane.hierarchy.load_lean(addr, line, &mut lane.counters);
+            }
+        } else {
+            let repeat_cycles = repeats * self.l1_hit;
+            for lane in self.active.iter_mut() {
+                lane.cycles +=
+                    lane.hierarchy.load_lean(addr, line, &mut lane.counters) + repeat_cycles;
+                lane.counters.dl1.record_read_hits(repeats);
+            }
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, _task: usize, addr: Address, line: LineAddr) {
+        for lane in self.active.iter_mut() {
+            lane.cycles += lane.hierarchy.store_lean(addr, line, &mut lane.counters);
+        }
+    }
+
+    #[inline]
+    fn compute(&mut self, _task: usize, cycles: u64) {
+        for lane in self.active.iter_mut() {
+            lane.cycles += cycles;
+        }
     }
 }
 

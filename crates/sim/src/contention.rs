@@ -30,6 +30,17 @@
 //! state — extra victim misses caused by opponent fills.  The
 //! interleaving granularity is one trace event per arbitration step.
 //!
+//! **The lane-batched path.**  Because a round-robin schedule never
+//! consults the placement seed, the interleaved (and run-collapsed) event
+//! stream is *the same* for every run of a campaign.
+//! [`ContendedSchedule::round_robin`] computes it once;
+//! [`BatchContentionCore`] then replays it across `K` placement-seed
+//! lanes per pass, exactly as [`crate::batch::BatchCore`] does for solo
+//! campaigns — and bit-identical to running [`ContentionCore`] once per
+//! seed (pinned by unit tests here, the differential reference model and
+//! the batch-equivalence proptests).  Seeded-random arbitration depends
+//! on the run seed and stays on the scalar per-seed engine.
+//!
 //! **Solo-task equivalence.**  A contended run with one task and idle
 //! (empty-trace) opponents reproduces the single-task engine exactly:
 //! the seed→layout derivation of [`SharedL2Hierarchy::reseed`] draws the
@@ -41,10 +52,11 @@
 
 use crate::config::PlatformConfig;
 use crate::hierarchy::{HierarchyStats, RunCounters};
+use crate::lanes::{interleave_round_robin, replay_ops, LaneStepper, Op};
 use crate::trace::MemEvent;
 use randmod_core::cache::{AccessKind, SetAssocCache};
 use randmod_core::prng::SplitMix64;
-use randmod_core::{Address, ConfigError};
+use randmod_core::{Address, ConfigError, LineAddr};
 use std::fmt;
 use std::str::FromStr;
 
@@ -188,40 +200,65 @@ impl SharedL2Hierarchy {
     /// access paths delegate to the same
     /// [`crate::hierarchy`]-level helpers the solo `MemoryHierarchy`
     /// uses, so the two models cannot drift apart in latency or
-    /// statistics semantics.
+    /// statistics semantics.  `line` is the task's IL1 line of `addr`,
+    /// computed once by the decode/interleave driver and shared across
+    /// every placement lane.
     #[inline]
-    pub(crate) fn fetch_lean(&mut self, task: usize, addr: Address, counters: &mut RunCounters) -> u64 {
+    pub(crate) fn fetch_lean(
+        &mut self,
+        task: usize,
+        addr: Address,
+        line: LineAddr,
+        counters: &mut RunCounters,
+    ) -> u64 {
         crate::hierarchy::read_lean(
             &mut self.tasks[task].il1,
             &mut self.l2,
             &self.config.latencies,
             addr,
+            line,
             AccessKind::InstructionFetch,
             counters,
         )
     }
 
-    /// Lean data load of `task` (see [`Self::fetch_lean`]).
+    /// Lean data load of `task` (see [`Self::fetch_lean`]); `line` is the
+    /// task's DL1 line of `addr`.
     #[inline]
-    pub(crate) fn load_lean(&mut self, task: usize, addr: Address, counters: &mut RunCounters) -> u64 {
+    pub(crate) fn load_lean(
+        &mut self,
+        task: usize,
+        addr: Address,
+        line: LineAddr,
+        counters: &mut RunCounters,
+    ) -> u64 {
         crate::hierarchy::read_lean(
             &mut self.tasks[task].dl1,
             &mut self.l2,
             &self.config.latencies,
             addr,
+            line,
             AccessKind::Load,
             counters,
         )
     }
 
-    /// Lean data store of `task` (see [`Self::fetch_lean`]).
+    /// Lean data store of `task` (see [`Self::fetch_lean`]); `line` is the
+    /// task's DL1 line of `addr`.
     #[inline]
-    pub(crate) fn store_lean(&mut self, task: usize, addr: Address, counters: &mut RunCounters) -> u64 {
+    pub(crate) fn store_lean(
+        &mut self,
+        task: usize,
+        addr: Address,
+        line: LineAddr,
+        counters: &mut RunCounters,
+    ) -> u64 {
         crate::hierarchy::store_lean(
             &mut self.tasks[task].dl1,
             &mut self.l2,
             &self.config.latencies,
             addr,
+            line,
             counters,
         )
     }
@@ -254,6 +291,10 @@ impl SharedL2Hierarchy {
 pub struct ContentionCore {
     hierarchy: SharedL2Hierarchy,
     arbitration: Arbitration,
+    /// Offset bits of the IL1 / DL1 geometry, for the per-event line
+    /// reduction of the lean access paths.
+    il1_shift: u32,
+    dl1_shift: u32,
 }
 
 impl ContentionCore {
@@ -271,6 +312,8 @@ impl ContentionCore {
         Ok(ContentionCore {
             hierarchy: SharedL2Hierarchy::new(config, tasks)?,
             arbitration,
+            il1_shift: config.il1.geometry.offset_bits(),
+            dl1_shift: config.dl1.geometry.offset_bits(),
         })
     }
 
@@ -339,10 +382,17 @@ impl ContentionCore {
             cycles[task] += match event {
                 MemEvent::Compute(c) => c as u64,
                 MemEvent::InstrFetch(addr) => {
-                    self.hierarchy.fetch_lean(task, addr, &mut counters[task])
+                    let line = LineAddr::new(addr.raw() >> self.il1_shift);
+                    self.hierarchy.fetch_lean(task, addr, line, &mut counters[task])
                 }
-                MemEvent::Load(addr) => self.hierarchy.load_lean(task, addr, &mut counters[task]),
-                MemEvent::Store(addr) => self.hierarchy.store_lean(task, addr, &mut counters[task]),
+                MemEvent::Load(addr) => {
+                    let line = LineAddr::new(addr.raw() >> self.dl1_shift);
+                    self.hierarchy.load_lean(task, addr, line, &mut counters[task])
+                }
+                MemEvent::Store(addr) => {
+                    let line = LineAddr::new(addr.raw() >> self.dl1_shift);
+                    self.hierarchy.store_lean(task, addr, line, &mut counters[task])
+                }
             };
             pending[task] = streams[task].as_mut().and_then(Iterator::next);
             if pending[task].is_none() {
@@ -354,6 +404,263 @@ impl ContentionCore {
             .zip(counters)
             .map(|(cycles, counters)| (cycles, counters.into_stats()))
             .collect()
+    }
+}
+
+/// A precomputed, collapsed round-robin interleaving of one co-schedule.
+///
+/// Under round-robin arbitration the merged event stream is a pure
+/// function of the task traces: the cursor visits ready tasks in index
+/// order and the placement seed never enters an arbitration decision.  A
+/// campaign therefore interleaves (and run-collapses) the co-schedule
+/// **once**, shares the schedule read-only across its worker threads, and
+/// replays it under every placement seed with
+/// [`BatchContentionCore::execute_schedule`].  Seeded-random arbitration
+/// draws its schedule from the run seed and has no such invariant — it
+/// stays on the scalar [`ContentionCore`].
+#[derive(Debug, Clone)]
+pub struct ContendedSchedule {
+    ops: Vec<Op>,
+    tasks: usize,
+}
+
+impl ContendedSchedule {
+    /// Interleaves `streams` under round-robin arbitration for a
+    /// `tasks`-task platform described by `config`, collapsing per-task
+    /// same-line read runs at interleave time.  `tasks` is clamped to at
+    /// least one; streams beyond `tasks` are ignored and missing streams
+    /// behave as idle tasks, mirroring
+    /// [`ContentionCore::execute_contended`].
+    pub fn round_robin<I>(config: &PlatformConfig, tasks: usize, streams: Vec<I>) -> Self
+    where
+        I: Iterator<Item = MemEvent>,
+    {
+        let tasks = tasks.max(1);
+        ContendedSchedule {
+            ops: interleave_round_robin(
+                streams,
+                tasks,
+                config.il1.geometry.offset_bits(),
+                config.dl1.geometry.offset_bits(),
+            ),
+            tasks,
+        }
+    }
+
+    /// Number of tasks the schedule interleaves.
+    pub fn task_count(&self) -> usize {
+        self.tasks
+    }
+
+    /// Number of collapsed operations in the schedule.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the schedule holds no operations (every task idle).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// One placement-seed lane of the batched contended engine: a full
+/// shared-L2 hierarchy plus per-task cycle counters and statistics
+/// blocks.
+#[derive(Debug, Clone)]
+struct ContentionLane {
+    hierarchy: SharedL2Hierarchy,
+    cycles: Vec<u64>,
+    counters: Vec<RunCounters>,
+}
+
+/// The lane-batched contended engine: replays one precomputed
+/// [`ContendedSchedule`] across up to `K` placement-seed lanes per pass —
+/// the contended counterpart of [`crate::batch::BatchCore`], driven by
+/// the same `crate::lanes` machinery.
+///
+/// ```
+/// use randmod_sim::contention::{
+///     Arbitration, BatchContentionCore, ContendedSchedule, ContentionCore,
+/// };
+/// use randmod_sim::{PlatformConfig, Trace};
+/// use randmod_core::Address;
+///
+/// # fn main() -> Result<(), randmod_core::ConfigError> {
+/// let config = PlatformConfig::leon3();
+/// let mut victim = Trace::new();
+/// let mut opponent = Trace::new();
+/// for i in 0..256u64 {
+///     victim.load(Address::new(0x1000 + i * 32));
+///     opponent.load(Address::new(0x8_0000 + (i % 64) * 32));
+/// }
+///
+/// // One interleave, four placement seeds replayed.
+/// let schedule = ContendedSchedule::round_robin(
+///     &config,
+///     2,
+///     vec![victim.iter().copied(), opponent.iter().copied()],
+/// );
+/// let mut batch = BatchContentionCore::new(&config, 2, 4)?;
+/// let results = batch.execute_schedule(&schedule, &[1, 2, 3, 4]);
+///
+/// // Bit-identical to the scalar per-seed engine.
+/// let mut scalar = ContentionCore::new(&config, 2, Arbitration::RoundRobin)?;
+/// for (&seed, runs) in [1u64, 2, 3, 4].iter().zip(&results) {
+///     let reference = scalar
+///         .execute_contended(vec![victim.iter().copied(), opponent.iter().copied()], seed);
+///     assert_eq!(runs, &reference);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchContentionCore {
+    lanes: Vec<ContentionLane>,
+    /// L1 hit latency, the cost of each run-collapsed repeat read.
+    l1_hit: u64,
+}
+
+impl BatchContentionCore {
+    /// Builds a batched contended core with `lanes` placement-seed lanes
+    /// for `tasks` tasks (both clamped to at least one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(config: &PlatformConfig, tasks: usize, lanes: usize) -> Result<Self, ConfigError> {
+        let tasks = tasks.max(1);
+        let lane = ContentionLane {
+            hierarchy: SharedL2Hierarchy::new(config, tasks)?,
+            cycles: vec![0; tasks],
+            counters: vec![RunCounters::default(); tasks],
+        };
+        Ok(BatchContentionCore {
+            lanes: vec![lane; lanes.max(1)],
+            l1_hit: config.latencies.l1_hit as u64,
+        })
+    }
+
+    /// Number of placement-seed lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of tasks each lane interleaves.
+    pub fn task_count(&self) -> usize {
+        self.lanes[0].hierarchy.task_count()
+    }
+
+    /// Replays `schedule` once, simulating one contended run per seed in
+    /// `seeds` (cold caches, fresh placement layout per lane — exactly
+    /// what [`ContentionCore::execute_contended`] does per seed).
+    /// Returns, per seed in seed order, `(cycles, stats)` per task in
+    /// task order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` holds more seeds than there are lanes, or if the
+    /// schedule was built for a different task count.
+    pub fn execute_schedule(
+        &mut self,
+        schedule: &ContendedSchedule,
+        seeds: &[u64],
+    ) -> Vec<Vec<(u64, HierarchyStats)>> {
+        assert!(
+            seeds.len() <= self.lanes.len(),
+            "{} seeds exceed the {} configured lanes",
+            seeds.len(),
+            self.lanes.len()
+        );
+        assert_eq!(
+            schedule.task_count(),
+            self.task_count(),
+            "schedule interleaves a different task count than this core"
+        );
+        let active = &mut self.lanes[..seeds.len()];
+        for (lane, &seed) in active.iter_mut().zip(seeds) {
+            lane.hierarchy.reseed(seed);
+            lane.cycles.fill(0);
+            lane.counters.fill(RunCounters::default());
+        }
+        let mut stepper = ContendedLanes {
+            active,
+            l1_hit: self.l1_hit,
+        };
+        replay_ops(&schedule.ops, &mut stepper);
+        active
+            .iter()
+            .map(|lane| {
+                lane.cycles
+                    .iter()
+                    .zip(&lane.counters)
+                    .map(|(&cycles, counters)| (cycles, counters.into_stats()))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// The contended engine's lane fan-out: every collapsed operation of the
+/// shared schedule is applied to each active placement lane, booked
+/// against the issuing task's cycle counter and statistics block.  Each
+/// collapsed repeat is a guaranteed private-L1 hit booked at `l1_hit`
+/// cycles (an opponent can never evict the line a task's repeat read is
+/// about to hit).
+struct ContendedLanes<'a> {
+    active: &'a mut [ContentionLane],
+    l1_hit: u64,
+}
+
+impl LaneStepper for ContendedLanes<'_> {
+    #[inline]
+    fn fetch(&mut self, task: usize, addr: Address, line: LineAddr, repeats: u64) {
+        if repeats == 0 {
+            for lane in self.active.iter_mut() {
+                lane.cycles[task] +=
+                    lane.hierarchy.fetch_lean(task, addr, line, &mut lane.counters[task]);
+            }
+        } else {
+            let repeat_cycles = repeats * self.l1_hit;
+            for lane in self.active.iter_mut() {
+                lane.cycles[task] +=
+                    lane.hierarchy.fetch_lean(task, addr, line, &mut lane.counters[task])
+                        + repeat_cycles;
+                lane.counters[task].il1.record_read_hits(repeats);
+            }
+        }
+    }
+
+    #[inline]
+    fn load(&mut self, task: usize, addr: Address, line: LineAddr, repeats: u64) {
+        if repeats == 0 {
+            for lane in self.active.iter_mut() {
+                lane.cycles[task] +=
+                    lane.hierarchy.load_lean(task, addr, line, &mut lane.counters[task]);
+            }
+        } else {
+            let repeat_cycles = repeats * self.l1_hit;
+            for lane in self.active.iter_mut() {
+                lane.cycles[task] +=
+                    lane.hierarchy.load_lean(task, addr, line, &mut lane.counters[task])
+                        + repeat_cycles;
+                lane.counters[task].dl1.record_read_hits(repeats);
+            }
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, task: usize, addr: Address, line: LineAddr) {
+        for lane in self.active.iter_mut() {
+            lane.cycles[task] +=
+                lane.hierarchy.store_lean(task, addr, line, &mut lane.counters[task]);
+        }
+    }
+
+    #[inline]
+    fn compute(&mut self, task: usize, cycles: u64) {
+        for lane in self.active.iter_mut() {
+            lane.cycles[task] += cycles;
+        }
     }
 }
 
@@ -513,6 +820,79 @@ mod tests {
         let solo = core.execute_contended(vec![trace.into_iter()], 3);
         assert_eq!(clipped, solo);
         assert_eq!(clipped.len(), 1);
+    }
+
+    #[test]
+    fn batched_contended_replay_matches_scalar_per_seed() {
+        let seeds = [0u64, 1, 7, 42, 0xDEAD_BEEF];
+        for placement in PlacementKind::ALL {
+            let config = PlatformConfig::leon3().with_l1_placement(placement);
+            let streams = [victim_trace(), opponent_trace(), opponent_trace()];
+            let schedule = ContendedSchedule::round_robin(
+                &config,
+                3,
+                streams.iter().map(|t| t.iter().copied()).collect(),
+            );
+            let mut batch = BatchContentionCore::new(&config, 3, seeds.len()).unwrap();
+            let batched = batch.execute_schedule(&schedule, &seeds);
+            let mut scalar = ContentionCore::new(&config, 3, Arbitration::RoundRobin).unwrap();
+            for (&seed, runs) in seeds.iter().zip(&batched) {
+                let reference = scalar
+                    .execute_contended(streams.iter().map(|t| t.iter().copied()).collect(), seed);
+                assert_eq!(runs, &reference, "lane diverged for seed {seed} under {placement}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_contended_partial_batches_use_a_lane_prefix() {
+        let config = config();
+        let schedule = ContendedSchedule::round_robin(
+            &config,
+            2,
+            vec![victim_trace().into_iter(), opponent_trace().into_iter()],
+        );
+        let mut batch = BatchContentionCore::new(&config, 2, 8).unwrap();
+        assert_eq!(batch.lane_count(), 8);
+        assert_eq!(batch.task_count(), 2);
+        let results = batch.execute_schedule(&schedule, &[1, 2]);
+        assert_eq!(results.len(), 2);
+        // A later, different-sized batch reuses the lanes cleanly.
+        let again = batch.execute_schedule(&schedule, &[1]);
+        assert_eq!(again[0], results[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the")]
+    fn batched_contended_too_many_seeds_panic() {
+        let config = config();
+        let schedule =
+            ContendedSchedule::round_robin(&config, 2, vec![victim_trace().into_iter()]);
+        let mut batch = BatchContentionCore::new(&config, 2, 2).unwrap();
+        batch.execute_schedule(&schedule, &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different task count")]
+    fn batched_contended_task_count_mismatch_panics() {
+        let config = config();
+        let schedule =
+            ContendedSchedule::round_robin(&config, 3, vec![victim_trace().into_iter()]);
+        let mut batch = BatchContentionCore::new(&config, 2, 2).unwrap();
+        batch.execute_schedule(&schedule, &[1]);
+    }
+
+    #[test]
+    fn empty_schedule_is_an_idle_run() {
+        let config = config();
+        let schedule =
+            ContendedSchedule::round_robin(&config, 2, Vec::<std::vec::IntoIter<MemEvent>>::new());
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.len(), 0);
+        let mut batch = BatchContentionCore::new(&config, 2, 1).unwrap();
+        let results = batch.execute_schedule(&schedule, &[9]);
+        assert_eq!(results[0][0], (0, HierarchyStats::default()));
+        assert_eq!(results[0][1], (0, HierarchyStats::default()));
     }
 
     #[test]

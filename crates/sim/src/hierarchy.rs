@@ -17,7 +17,7 @@ use crate::config::PlatformConfig;
 use crate::trace::MemEvent;
 use randmod_core::cache::{AccessKind, SetAssocCache};
 use randmod_core::prng::SplitMix64;
-use randmod_core::{AccessFlags, Address, CacheStats, ConfigError};
+use randmod_core::{AccessFlags, Address, CacheStats, ConfigError, LineAddr};
 use std::fmt;
 
 /// Per-level statistics of one run.
@@ -138,16 +138,20 @@ impl RunCounters {
 /// a miss, charges the level-appropriate latency, and books everything in
 /// the caller's counter block.  One implementation keeps the two models'
 /// latency and statistics semantics identical by construction.
+///
+/// `l1_line` is the L1 line of `addr`, precomputed by the decode driver
+/// so the reduction is paid once per event rather than once per lane.
 #[inline]
 pub(crate) fn read_lean(
     l1: &mut SetAssocCache,
     l2: &mut SetAssocCache,
     latencies: &crate::config::LatencyConfig,
     addr: Address,
+    l1_line: LineAddr,
     kind: AccessKind,
     counters: &mut RunCounters,
 ) -> u64 {
-    let flags = l1.access_lean(addr, kind);
+    let flags = l1.access_lean_line(l1_line, kind);
     let l1_counter = match kind {
         AccessKind::InstructionFetch => &mut counters.il1,
         _ => &mut counters.dl1,
@@ -177,9 +181,10 @@ pub(crate) fn store_lean(
     l2: &mut SetAssocCache,
     latencies: &crate::config::LatencyConfig,
     addr: Address,
+    dl1_line: LineAddr,
     counters: &mut RunCounters,
 ) -> u64 {
-    let flags = dl1.access_lean(addr, AccessKind::Store);
+    let flags = dl1.access_lean_line(dl1_line, AccessKind::Store);
     counters.dl1.record(flags, true);
     let l2_flags = l2.access_lean(addr, AccessKind::Store);
     counters.l2.record(l2_flags, true);
@@ -317,36 +322,57 @@ impl MemoryHierarchy {
 
     /// Lean instruction fetch for batched replay: statistics go to the
     /// lane's counter block instead of the caches, otherwise identical to
-    /// [`Self::access`] with [`MemEvent::InstrFetch`].
+    /// [`Self::access`] with [`MemEvent::InstrFetch`].  `line` is the IL1
+    /// line of `addr`, computed once by the decode driver and shared
+    /// across every lane.
     #[inline]
-    pub(crate) fn fetch_lean(&mut self, addr: Address, counters: &mut RunCounters) -> u64 {
+    pub(crate) fn fetch_lean(
+        &mut self,
+        addr: Address,
+        line: LineAddr,
+        counters: &mut RunCounters,
+    ) -> u64 {
         read_lean(
             &mut self.il1,
             &mut self.l2,
             &self.config.latencies,
             addr,
+            line,
             AccessKind::InstructionFetch,
             counters,
         )
     }
 
-    /// Lean data load for batched replay (see [`Self::fetch_lean`]).
+    /// Lean data load for batched replay (see [`Self::fetch_lean`]);
+    /// `line` is the DL1 line of `addr`.
     #[inline]
-    pub(crate) fn load_lean(&mut self, addr: Address, counters: &mut RunCounters) -> u64 {
+    pub(crate) fn load_lean(
+        &mut self,
+        addr: Address,
+        line: LineAddr,
+        counters: &mut RunCounters,
+    ) -> u64 {
         read_lean(
             &mut self.dl1,
             &mut self.l2,
             &self.config.latencies,
             addr,
+            line,
             AccessKind::Load,
             counters,
         )
     }
 
-    /// Lean data store for batched replay (see [`Self::fetch_lean`]).
+    /// Lean data store for batched replay (see [`Self::fetch_lean`]);
+    /// `line` is the DL1 line of `addr`.
     #[inline]
-    pub(crate) fn store_lean(&mut self, addr: Address, counters: &mut RunCounters) -> u64 {
-        store_lean(&mut self.dl1, &mut self.l2, &self.config.latencies, addr, counters)
+    pub(crate) fn store_lean(
+        &mut self,
+        addr: Address,
+        line: LineAddr,
+        counters: &mut RunCounters,
+    ) -> u64 {
+        store_lean(&mut self.dl1, &mut self.l2, &self.config.latencies, addr, line, counters)
     }
 
     /// Serves an L1 load/fetch miss from the L2 (or memory) and returns the

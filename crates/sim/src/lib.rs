@@ -24,7 +24,9 @@
 //!   event, bit-identical to sequential replay.
 //! * [`contention`] — the multi-task shared-L2 platform: per-task private
 //!   L1 pairs over one shared L2 partition, interleaved by a deterministic
-//!   seeded arbitration policy (round-robin or seeded-random).
+//!   seeded arbitration policy (round-robin or seeded-random), with a
+//!   lane-batched engine that interleaves a round-robin co-schedule once
+//!   and replays it across `K` placement seeds.
 //! * [`run`] — measurement campaigns: run a program repeatedly with a fresh
 //!   placement seed per run (the MBPTA protocol, batched across seeds by
 //!   default), adaptively grow the campaign until the pWCET estimate
@@ -61,13 +63,16 @@ pub mod config;
 pub mod contention;
 pub mod cpu;
 pub mod hierarchy;
+mod lanes;
 pub mod packed;
 pub mod run;
 pub mod trace;
 
 pub use batch::BatchCore;
 pub use config::{CacheConfig, LatencyConfig, PlatformConfig};
-pub use contention::{Arbitration, ContentionCore, SharedL2Hierarchy};
+pub use contention::{
+    Arbitration, BatchContentionCore, ContendedSchedule, ContentionCore, SharedL2Hierarchy,
+};
 pub use cpu::InOrderCore;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy};
 pub use packed::PackedTrace;

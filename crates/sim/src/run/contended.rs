@@ -1,0 +1,305 @@
+//! The contended (multi-task, shared-L2) campaign protocol and its result
+//! types.
+//!
+//! Three engines back [`Campaign::run_contended`], picked per campaign:
+//!
+//! * **idle co-schedule** → the victim routes through the solo
+//!   [`crate::batch::BatchCore`] pool (bit-identical to
+//!   [`Campaign::run_seeds`], at its throughput);
+//! * **round-robin, `lanes > 1`** → the lane-batched
+//!   [`BatchContentionCore`]: the interleaved schedule is seed-independent,
+//!   so it is computed once per campaign and replayed across
+//!   placement-seed lanes, shared read-only across worker threads;
+//! * **seeded-random, or `with_lanes(1)`** → the scalar per-seed
+//!   [`ContentionCore`] (a seeded-random schedule depends on the run seed;
+//!   one lane is the documented sequential escape hatch).
+//!
+//! All three produce bit-identical [`ContendedResult`]s where their
+//! domains overlap — pinned by the `contention_equivalence` suite, the
+//! differential reference model and the unit grid tests.
+
+use super::schedule::scoped_chunks;
+use super::{Campaign, CampaignResult, RunResult};
+use crate::contention::{Arbitration, BatchContentionCore, ContendedSchedule, ContentionCore};
+use crate::hierarchy::HierarchyStats;
+use crate::trace::EventSource;
+use randmod_core::ConfigError;
+use std::fmt;
+
+/// One task's share of a contended run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskRun {
+    /// The task's end-to-end execution time in cycles.
+    pub cycles: u64,
+    /// The task's own view of the hierarchy: its private L1s plus its
+    /// share of the shared-L2 traffic.
+    pub stats: HierarchyStats,
+}
+
+/// One run of a contended campaign: the seed plus every task's outcome,
+/// task 0 (the victim) first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContendedRun {
+    /// The placement seed installed for this run.
+    pub seed: u64,
+    /// Per-task outcomes, in task order.
+    pub tasks: Vec<TaskRun>,
+}
+
+impl ContendedRun {
+    /// The aggregate hierarchy view of the run (per-task stats summed; the
+    /// L2 half is the shared partition's total traffic).
+    pub fn aggregate_stats(&self) -> HierarchyStats {
+        self.tasks
+            .iter()
+            .fold(HierarchyStats::default(), |acc, task| acc.merged(task.stats))
+    }
+}
+
+/// The collected results of a contended (multi-task, shared-L2)
+/// measurement campaign.  Produced by [`Campaign::run_contended`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContendedResult {
+    runs: Vec<ContendedRun>,
+}
+
+impl ContendedResult {
+    /// Creates a result from individual contended runs.
+    pub fn from_runs(runs: Vec<ContendedRun>) -> Self {
+        ContendedResult { runs }
+    }
+
+    /// The individual runs, in campaign order.
+    pub fn runs(&self) -> &[ContendedRun] {
+        &self.runs
+    }
+
+    /// Consumes the result, keeping the runs (the inverse of
+    /// [`Self::from_runs`]).
+    pub fn into_runs(self) -> Vec<ContendedRun> {
+        self.runs
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the campaign produced no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of tasks per run (0 for an empty campaign).
+    pub fn task_count(&self) -> usize {
+        self.runs.first().map_or(0, |run| run.tasks.len())
+    }
+
+    /// Iterates one task's execution times in campaign order (task 0 is
+    /// the victim — the sample MBPTA consumes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range for a non-empty campaign.
+    pub fn task_cycles_iter(&self, task: usize) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().map(move |run| run.tasks[task].cycles)
+    }
+
+    /// Iterates the per-run cycles of every task in run-major order
+    /// (`run0·task0, run0·task1, …, run1·task0, …`) — the flat layout
+    /// `randmod_mbpta`'s per-task sample extraction splits back apart.
+    pub fn flat_cycles_iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().flat_map(|run| run.tasks.iter().map(|t| t.cycles))
+    }
+
+    /// The victim's (task 0's) runs as a single-task [`CampaignResult`],
+    /// for code written against the solo campaign API.
+    pub fn victim_result(&self) -> CampaignResult {
+        CampaignResult::from_runs(
+            self.runs
+                .iter()
+                .map(|run| RunResult {
+                    seed: run.seed,
+                    cycles: run.tasks[0].cycles,
+                    stats: run.tasks[0].stats,
+                })
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for ContendedResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} contended runs x {} tasks: victim max {} cycles",
+            self.len(),
+            self.task_count(),
+            self.runs
+                .iter()
+                .map(|run| run.tasks[0].cycles)
+                .max()
+                .unwrap_or(0)
+        )
+    }
+}
+
+impl Campaign {
+    /// Runs the contended (multi-task, shared-L2) MBPTA protocol: every
+    /// seed executes one run of `sources[0]` (the victim) co-scheduled
+    /// against `sources[1..]` (the opponents) on a
+    /// [`crate::contention::SharedL2Hierarchy`], under this campaign's
+    /// [`Arbitration`] policy.  Runs are distributed over the same worker
+    /// thread pool as [`Self::run_seeds`]; each run is a pure function of
+    /// its seed, so results are thread-invariant.
+    ///
+    /// **Solo fast path**: when every opponent trace is empty (an idle
+    /// co-schedule), the victim's runs route through the seed-batched
+    /// [`crate::batch::BatchCore`] lane pool — the exact
+    /// [`Self::run_seeds`] engine — so a solo contended campaign is
+    /// *bit-identical* to the single-task protocol (and enjoys its
+    /// throughput).
+    ///
+    /// **Batched round-robin path**: under round-robin arbitration the
+    /// interleaved co-schedule never depends on the placement seed, so it
+    /// is computed once per campaign ([`ContendedSchedule::round_robin`])
+    /// and replayed across placement-seed lanes — at most
+    /// [`Self::CONTENDED_LANE_GROUP`] per schedule pass, the measured
+    /// host-cache sweet spot — by a [`BatchContentionCore`],
+    /// bit-identical to the scalar per-seed engine, at a fraction of its
+    /// decode and interleave cost.
+    /// Seeded-random arbitration (whose schedule is drawn from the run
+    /// seed) and `with_lanes(1)` (the documented sequential escape hatch)
+    /// run the scalar [`ContentionCore`] per seed instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the platform configuration is invalid.
+    pub fn run_contended<S>(
+        &self,
+        sources: &[S],
+        seeds: &[u64],
+    ) -> Result<ContendedResult, ConfigError>
+    where
+        S: EventSource,
+    {
+        self.config.validate()?;
+        self.run_contended_validated(sources, seeds)
+    }
+
+    /// [`Self::run_contended`] over this campaign's default seed schedule
+    /// — the same `runs`-long `SeedSequence` draw as [`Self::run`], so a
+    /// solo co-schedule reproduces `run()` bit for bit and a fixed
+    /// contended campaign is the documented superset of
+    /// [`Self::run_contended_adaptive`]'s prefix.  The schedule convention
+    /// lives here, in one place, rather than in every caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the platform configuration is invalid.
+    pub fn run_contended_campaign<S>(&self, sources: &[S]) -> Result<ContendedResult, ConfigError>
+    where
+        S: EventSource,
+    {
+        self.config.validate()?;
+        self.run_contended_validated(sources, &self.seed_schedule())
+    }
+
+    /// The contended worker pool; the configuration is already validated
+    /// by the public entry points.
+    pub(super) fn run_contended_validated<S>(
+        &self,
+        sources: &[S],
+        seeds: &[u64],
+    ) -> Result<ContendedResult, ConfigError>
+    where
+        S: EventSource,
+    {
+        if sources.is_empty() || seeds.is_empty() {
+            return Ok(ContendedResult::default());
+        }
+        let tasks = sources.len();
+        // Idle co-schedule: no opponent emits an event, so the shared L2
+        // sees only the victim — route through the batched solo engine.
+        if sources[1..].iter().all(|s| s.events().next().is_none()) {
+            let solo = self.run_seeds_validated(&sources[0], seeds)?;
+            return Ok(ContendedResult::from_runs(
+                solo.runs()
+                    .iter()
+                    .map(|run| {
+                        let mut task_runs = vec![
+                            TaskRun {
+                                cycles: 0,
+                                stats: HierarchyStats::default(),
+                            };
+                            tasks
+                        ];
+                        task_runs[0] = TaskRun {
+                            cycles: run.cycles,
+                            stats: run.stats,
+                        };
+                        ContendedRun {
+                            seed: run.seed,
+                            tasks: task_runs,
+                        }
+                    })
+                    .collect(),
+            ));
+        }
+        let config = self.config;
+        let lanes = self.lanes;
+        if self.arbitration == Arbitration::RoundRobin && lanes > 1 {
+            // The round-robin schedule is a pure function of the traces:
+            // interleave (and run-collapse) once, then replay it across
+            // placement-seed lanes, shared read-only across the workers.
+            let schedule = ContendedSchedule::round_robin(
+                &config,
+                tasks,
+                sources.iter().map(|s| s.events()).collect(),
+            );
+            let schedule = &schedule;
+            // The lane knob is an upper bound here: a contended lane holds a
+            // full co-schedule's cache state (per-task L1 pairs plus a shared
+            // L2), so groups wider than `CONTENDED_LANE_GROUP` thrash the
+            // host cache and run measurably slower.
+            let group = lanes.min(Campaign::CONTENDED_LANE_GROUP);
+            let runs = scoped_chunks(seeds, self.threads, |chunk| {
+                let mut core = BatchContentionCore::new(&config, tasks, group.min(chunk.len()))?;
+                let mut out = Vec::with_capacity(chunk.len());
+                for group in chunk.chunks(core.lane_count()) {
+                    let lane_results = core.execute_schedule(schedule, group);
+                    for (&seed, task_results) in group.iter().zip(lane_results) {
+                        out.push(ContendedRun {
+                            seed,
+                            tasks: task_results
+                                .into_iter()
+                                .map(|(cycles, stats)| TaskRun { cycles, stats })
+                                .collect(),
+                        });
+                    }
+                }
+                Ok(out)
+            })?;
+            return Ok(ContendedResult::from_runs(runs));
+        }
+        let arbitration = self.arbitration;
+        let runs = scoped_chunks(seeds, self.threads, |chunk| {
+            let mut core = ContentionCore::new(&config, tasks, arbitration)?;
+            let mut out = Vec::with_capacity(chunk.len());
+            for &seed in chunk {
+                let streams: Vec<_> = sources.iter().map(|s| s.events()).collect();
+                let task_runs = core
+                    .execute_contended(streams, seed)
+                    .into_iter()
+                    .map(|(cycles, stats)| TaskRun { cycles, stats })
+                    .collect();
+                out.push(ContendedRun {
+                    seed,
+                    tasks: task_runs,
+                });
+            }
+            Ok(out)
+        })?;
+        Ok(ContendedResult::from_runs(runs))
+    }
+}

@@ -10,6 +10,12 @@
 //!   against the sequential `InOrderCore` reference, and
 //! * `Campaign::run_contended` (which routes idle co-schedules through the
 //!   batched `BatchCore` pool) against `Campaign::run_seeds`.
+//!
+//! A third property pins the execution-geometry invariance of contended
+//! campaigns: one `ContendedResult`, reproduced bit-for-bit across every
+//! lanes × threads grid point, under both round-robin (where `lanes > 1`
+//! selects the lane-batched `BatchContentionCore`) and seeded-random
+//! (where the lane knob is inert and everything stays scalar).
 
 mod common;
 
@@ -51,6 +57,49 @@ proptest! {
             prop_assert_eq!(results[0], (ref_cycles, ref_stats));
             for idle in &results[1..] {
                 prop_assert_eq!(idle.0, 0);
+            }
+        }
+    }
+
+    /// One contended campaign, every lanes × threads grid point: the
+    /// `ContendedResult` must reproduce bit-for-bit — per-task cycles,
+    /// per-task statistics, run order — whatever the execution geometry.
+    /// Under round-robin the grid spans the scalar engine (`lanes == 1`),
+    /// partial batches and full lane groups; under seeded-random every
+    /// point stays on the scalar engine, which must be equally
+    /// lane-knob-invariant (the knob is simply inert there).
+    #[test]
+    fn contended_results_are_lane_and_thread_invariant(
+        victim_events in prop::collection::vec(event_strategy(), 1..200),
+        opponent_events in prop::collection::vec(event_strategy(), 1..200),
+        campaign_seed in any::<u64>(),
+        placement_index in 0usize..4,
+        seeded_random in any::<bool>(),
+    ) {
+        let placement = PlacementKind::ALL[placement_index];
+        let config = PlatformConfig::leon3().with_l1_placement(placement);
+        let arbitration = if seeded_random {
+            Arbitration::SeededRandom
+        } else {
+            Arbitration::RoundRobin
+        };
+        let sources = [expand(&victim_events), expand(&opponent_events)];
+        let seeds: Vec<u64> = (0..11u64).map(|i| campaign_seed ^ (i * 0x9E37_79B9)).collect();
+        let reference = Campaign::new(config, 0)
+            .with_threads(1)
+            .with_lanes(1)
+            .with_arbitration(arbitration)
+            .run_contended(&sources, &seeds)
+            .unwrap();
+        for lanes in [2usize, 4, 7] {
+            for threads in [1usize, 3] {
+                let result = Campaign::new(config, 0)
+                    .with_threads(threads)
+                    .with_lanes(lanes)
+                    .with_arbitration(arbitration)
+                    .run_contended(&sources, &seeds)
+                    .unwrap();
+                prop_assert_eq!(&result, &reference);
             }
         }
     }

@@ -19,6 +19,15 @@
 //! future engine optimisation that changes an observable number fails
 //! here first.
 //!
+//! The contended half does the same for the shared-L2 platform:
+//! `RefSharedL2`/`RefContentionCore` naively re-implement the K-task
+//! hierarchy and both arbitration policies (per-set `Vec`s, `VecDeque`
+//! event queues, per-access statistics snapshots — no run collapsing, no
+//! precomputed schedule, no lane batching) and are proptested against the
+//! scalar `ContentionCore` *and* the full `Campaign::run_contended` path,
+//! which under round-robin routes through the lane-batched
+//! `BatchContentionCore`.
+//!
 //! `REFERENCE_MODEL_CASES` (env) scales the proptest case count; CI runs
 //! this suite with a larger budget than the local default.
 
@@ -29,9 +38,15 @@ use proptest::prelude::*;
 use randmod_core::placement::PlacementPolicy;
 use randmod_core::prng::{CombinedLfsr, SplitMix64};
 use randmod_core::{Address, CacheGeometry, CacheStats, PlacementKind, ReplacementKind, WritePolicy};
+use randmod_sim::contention::{Arbitration, ContentionCore};
 use randmod_sim::hierarchy::HierarchyStats;
 use randmod_sim::trace::MemEvent;
-use randmod_sim::{BatchCore, InOrderCore, PlatformConfig, Trace};
+use randmod_sim::{BatchCore, Campaign, InOrderCore, PlatformConfig, Trace};
+
+/// The arbitration-RNG salt of the contention engine, restated from its
+/// documented specification (decorrelates interleaving decisions from
+/// cache layouts).
+const ARBITRATION_SALT: u64 = 0xA12B_1748_C0DE_5EED;
 
 /// One resident line of the reference model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -257,6 +272,210 @@ impl RefHierarchy {
     }
 }
 
+/// Field-wise difference of two cache statistics snapshots (`after -
+/// before`), for attributing shared-L2 traffic to the task that issued
+/// it.
+fn stats_delta(after: CacheStats, before: CacheStats) -> CacheStats {
+    CacheStats {
+        accesses: after.accesses - before.accesses,
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        fills: after.fills - before.fills,
+        evictions: after.evictions - before.evictions,
+        writebacks: after.writebacks - before.writebacks,
+        stores: after.stores - before.stores,
+        flushes: after.flushes - before.flushes,
+    }
+}
+
+/// The naive shared-L2 platform: `K` per-task `RefCache` L1 pairs in
+/// front of one shared `RefCache` L2 — the reference counterpart of
+/// `SharedL2Hierarchy`.  Per-task L2 views are attributed the slow way,
+/// by snapshotting the shared cache's statistics around every access.
+struct RefSharedL2 {
+    config: PlatformConfig,
+    /// `(il1, dl1)` per task.
+    tasks: Vec<(RefCache, RefCache)>,
+    l2: RefCache,
+    /// Each task's own view of the shared-L2 traffic.
+    l2_views: Vec<CacheStats>,
+    /// Each task's accesses that went all the way to memory.
+    memory_accesses: Vec<u64>,
+}
+
+impl RefSharedL2 {
+    fn new(config: PlatformConfig, tasks: usize) -> Self {
+        let tasks = tasks.max(1);
+        let build = |c: &randmod_sim::CacheConfig| {
+            RefCache::new(c.geometry, c.placement, c.replacement, c.write_policy)
+        };
+        RefSharedL2 {
+            config,
+            tasks: (0..tasks).map(|_| (build(&config.il1), build(&config.dl1))).collect(),
+            l2: build(&config.l2),
+            l2_views: vec![CacheStats::default(); tasks],
+            memory_accesses: vec![0; tasks],
+        }
+    }
+
+    fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Mirrors `SharedL2Hierarchy::reseed`'s derivation order: task 0's
+    /// IL1, task 0's DL1, the shared L2, then the remaining tasks' pairs
+    /// — the order that makes a solo victim bit-identical to the
+    /// single-task hierarchy.
+    fn reseed(&mut self, seed: u64) {
+        let mut sm = SplitMix64::new(seed);
+        let (first, rest) = self.tasks.split_first_mut().expect("at least one task");
+        first.0.reseed(sm.next_u64());
+        first.1.reseed(sm.next_u64());
+        self.l2.reseed(sm.next_u64());
+        for task in rest {
+            task.0.reseed(sm.next_u64());
+            task.1.reseed(sm.next_u64());
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        for task in &mut self.tasks {
+            task.0.reset_stats();
+            task.1.reset_stats();
+        }
+        self.l2.reset_stats();
+        self.l2_views.fill(CacheStats::default());
+        self.memory_accesses.fill(0);
+    }
+
+    fn stats(&self, task: usize) -> HierarchyStats {
+        HierarchyStats {
+            il1: self.tasks[task].0.stats,
+            dl1: self.tasks[task].1.stats,
+            l2: self.l2_views[task],
+            memory_accesses: self.memory_accesses[task],
+        }
+    }
+
+    /// One access of `task`, charged and attributed like the production
+    /// shared-L2 model: the task's private L1 in front, the shared L2
+    /// behind it, the delta of the shared cache's statistics booked to
+    /// the issuing task.
+    fn access(&mut self, task: usize, event: MemEvent) -> u64 {
+        let lat = self.config.latencies;
+        match event {
+            MemEvent::Compute(cycles) => cycles as u64,
+            MemEvent::InstrFetch(addr) => {
+                if self.tasks[task].0.access(addr, false) {
+                    lat.l1_hit as u64
+                } else {
+                    self.fill_from_l2(task, addr) + lat.l1_hit as u64
+                }
+            }
+            MemEvent::Load(addr) => {
+                if self.tasks[task].1.access(addr, false) {
+                    lat.l1_hit as u64
+                } else {
+                    self.fill_from_l2(task, addr) + lat.l1_hit as u64
+                }
+            }
+            MemEvent::Store(addr) => {
+                self.tasks[task].1.access(addr, true);
+                let before = self.l2.stats;
+                let hit = self.l2.access(addr, true);
+                self.l2_views[task] = self.l2_views[task].merged(stats_delta(self.l2.stats, before));
+                if !hit {
+                    self.memory_accesses[task] += 1;
+                }
+                lat.store as u64
+            }
+        }
+    }
+
+    fn fill_from_l2(&mut self, task: usize, addr: Address) -> u64 {
+        let lat = self.config.latencies;
+        let before = self.l2.stats;
+        let hit = self.l2.access(addr, false);
+        self.l2_views[task] = self.l2_views[task].merged(stats_delta(self.l2.stats, before));
+        if hit {
+            lat.l2_hit as u64
+        } else {
+            self.memory_accesses[task] += 1;
+            (lat.l2_hit + lat.memory) as u64
+        }
+    }
+}
+
+/// The naive contention engine: interleaves `K` event queues over a
+/// [`RefSharedL2`] under the documented arbitration specification —
+/// round-robin visits ready tasks in index order; seeded-random draws a
+/// uniformly random ready task per step from `SplitMix64(seed ^ salt)`.
+/// Shares no code with `ContentionCore`, `ContendedSchedule` or the
+/// lane-batched replay (in particular: no run collapsing, no
+/// precomputed schedule).
+struct RefContentionCore {
+    hierarchy: RefSharedL2,
+    arbitration: Arbitration,
+}
+
+impl RefContentionCore {
+    fn new(config: PlatformConfig, tasks: usize, arbitration: Arbitration) -> Self {
+        RefContentionCore {
+            hierarchy: RefSharedL2::new(config, tasks),
+            arbitration,
+        }
+    }
+
+    /// The reference counterpart of `ContentionCore::execute_contended`:
+    /// one contended run, returning `(cycles, stats)` per task in task
+    /// order.  Traces beyond the task count are ignored; missing traces
+    /// behave as idle tasks.
+    fn execute_contended(&mut self, traces: &[Trace], seed: u64) -> Vec<(u64, HierarchyStats)> {
+        let tasks = self.hierarchy.task_count();
+        self.hierarchy.reseed(seed);
+        self.hierarchy.reset_stats();
+        let mut queues: Vec<std::collections::VecDeque<MemEvent>> =
+            traces.iter().take(tasks).map(|t| t.iter().copied().collect()).collect();
+        queues.resize_with(tasks, std::collections::VecDeque::new);
+        let mut cycles = vec![0u64; tasks];
+        let mut rng = SplitMix64::new(seed ^ ARBITRATION_SALT);
+        let mut cursor = 0usize;
+        loop {
+            let ready = queues.iter().filter(|q| !q.is_empty()).count();
+            if ready == 0 {
+                break;
+            }
+            let task = match self.arbitration {
+                Arbitration::RoundRobin => {
+                    while queues[cursor].is_empty() {
+                        cursor = (cursor + 1) % tasks;
+                    }
+                    let task = cursor;
+                    cursor = (cursor + 1) % tasks;
+                    task
+                }
+                Arbitration::SeededRandom => {
+                    let mut pick = (rng.next_u64() % ready as u64) as usize;
+                    let mut task = 0;
+                    loop {
+                        if !queues[task].is_empty() {
+                            if pick == 0 {
+                                break;
+                            }
+                            pick -= 1;
+                        }
+                        task += 1;
+                    }
+                    task
+                }
+            };
+            let event = queues[task].pop_front().expect("picked a ready task");
+            cycles[task] += self.hierarchy.access(task, event);
+        }
+        (0..tasks).map(|task| (cycles[task], self.hierarchy.stats(task))).collect()
+    }
+}
+
 /// Proptest case budget: the local default, or `REFERENCE_MODEL_CASES`
 /// when set (CI runs a larger budget).
 fn cases() -> u32 {
@@ -302,6 +521,122 @@ proptest! {
             let expected = reference.execute_isolated(&trace, seed);
             prop_assert_eq!(sequential.execute_isolated(&trace, seed), expected);
             prop_assert_eq!(batched_result, expected);
+        }
+    }
+
+    /// The naive contention reference reproduces both contended
+    /// production engines exactly — per-task cycles and full per-task
+    /// statistics (private L1s plus each task's view of the shared L2) —
+    /// across arbitrations × placements × co-schedule sizes ×
+    /// {LRU, Random} × {WT, WB}.  The campaign goes through
+    /// `Campaign::run_contended` with several lanes and threads, so under
+    /// round-robin this also pins the lane-batched
+    /// `BatchContentionCore` path against the reference.
+    #[test]
+    fn contended_engines_match_the_reference_model(
+        victim in prop::collection::vec(event_strategy(), 1..200),
+        opponents in prop::collection::vec(
+            prop::collection::vec(event_strategy(), 0..150), 0..3),
+        seeds in prop::collection::vec(any::<u64>(), 1..5),
+        placement_index in 0usize..4,
+        seeded_random in any::<bool>(),
+        replacement_is_lru in any::<bool>(),
+        write_back_l1 in any::<bool>(),
+    ) {
+        let placement = PlacementKind::ALL[placement_index];
+        let replacement = if replacement_is_lru {
+            ReplacementKind::Lru
+        } else {
+            ReplacementKind::Random
+        };
+        let l1_write = if write_back_l1 {
+            WritePolicy::WriteBack
+        } else {
+            WritePolicy::WriteThrough
+        };
+        let arbitration = if seeded_random {
+            Arbitration::SeededRandom
+        } else {
+            Arbitration::RoundRobin
+        };
+        let config = platform(placement, replacement, l1_write);
+        let traces: Vec<Trace> = std::iter::once(expand(&victim))
+            .chain(opponents.iter().map(|o| expand(o)))
+            .collect();
+        let tasks = traces.len();
+
+        let mut reference = RefContentionCore::new(config, tasks, arbitration);
+        let mut scalar = ContentionCore::new(&config, tasks, arbitration).unwrap();
+        let campaign_result = Campaign::new(config, 0)
+            .with_threads(2)
+            .with_lanes(3)
+            .with_arbitration(arbitration)
+            .run_contended(&traces, &seeds)
+            .unwrap();
+        prop_assert_eq!(campaign_result.len(), seeds.len());
+        for (&seed, run) in seeds.iter().zip(campaign_result.runs()) {
+            let expected = reference.execute_contended(&traces, seed);
+            let scalar_run = scalar
+                .execute_contended(traces.iter().map(|t| t.iter().copied()).collect(), seed);
+            prop_assert_eq!(&scalar_run, &expected);
+            prop_assert_eq!(run.seed, seed);
+            prop_assert_eq!(run.tasks.len(), tasks);
+            for (task_run, &(cycles, stats)) in run.tasks.iter().zip(&expected) {
+                prop_assert_eq!((task_run.cycles, task_run.stats), (cycles, stats));
+            }
+        }
+    }
+}
+
+/// The contended counterpart of the heavy deterministic case: the naive
+/// contention reference against the scalar `ContentionCore` and the
+/// lane-batched campaign path, on an L2-stressing three-task co-schedule,
+/// for every placement × both arbitrations.
+#[test]
+fn contended_reference_model_agrees_on_a_pressure_stressing_co_schedule() {
+    let mut victim = Trace::new();
+    let mut streamer = Trace::new();
+    let mut thrasher = Trace::new();
+    for i in 0..1500u64 {
+        victim.fetch(Address::new(0x1000 + (i % 24) * 32));
+        victim.load(Address::new(0x10_0000 + (i % 900) * 36));
+        if i % 7 == 0 {
+            victim.store(Address::new(0x18_0000 + (i % 300) * 32));
+        }
+        streamer.load(Address::new(0x40_0000 + (i % 4096) * 32));
+        thrasher.load(Address::new(0x80_0000 + (i % 2048) * 64));
+        if i % 13 == 0 {
+            thrasher.compute(2);
+        }
+    }
+    let traces = [victim, streamer, thrasher];
+    let seeds = [0u64, 11, 0xDEAD_BEEF, u64::MAX];
+    for placement in PlacementKind::ALL {
+        for arbitration in Arbitration::ALL {
+            let config = PlatformConfig::leon3().with_l1_placement(placement);
+            let mut reference = RefContentionCore::new(config, traces.len(), arbitration);
+            let mut scalar = ContentionCore::new(&config, traces.len(), arbitration).unwrap();
+            let campaign_result = Campaign::new(config, 0)
+                .with_threads(2)
+                .with_lanes(seeds.len())
+                .with_arbitration(arbitration)
+                .run_contended(&traces, &seeds)
+                .unwrap();
+            for (&seed, run) in seeds.iter().zip(campaign_result.runs()) {
+                let expected = reference.execute_contended(&traces, seed);
+                let scalar_run = scalar
+                    .execute_contended(traces.iter().map(|t| t.iter().copied()).collect(), seed);
+                assert_eq!(
+                    scalar_run, expected,
+                    "scalar diverged from the reference: {placement}/{arbitration} seed {seed}"
+                );
+                let campaign_run: Vec<(u64, HierarchyStats)> =
+                    run.tasks.iter().map(|t| (t.cycles, t.stats)).collect();
+                assert_eq!(
+                    campaign_run, expected,
+                    "campaign diverged from the reference: {placement}/{arbitration} seed {seed}"
+                );
+            }
         }
     }
 }
