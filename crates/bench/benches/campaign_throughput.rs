@@ -19,6 +19,10 @@
 //!
 //! * `CAMPAIGN_BENCH_QUICK=1` — 40-run campaigns (CI smoke mode).
 //! * `CAMPAIGN_BENCH_RUNS=N` — explicit run count (default 1,000).
+//! * `CAMPAIGN_BENCH_LANES=1,4,8,16` — lane-width sweep: the equivalence
+//!   gate runs once per width (each width must reproduce the sequential
+//!   engine bit-for-bit), and bench mode prints one `throughput:` line
+//!   per width.  Defaults to [`Campaign::DEFAULT_LANES`] alone.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use randmod_bench::bench_platform;
@@ -46,6 +50,26 @@ fn bench_mode() -> bool {
     std::env::args().any(|a| a == "--bench")
 }
 
+/// Lane widths to gate and time (`CAMPAIGN_BENCH_LANES`, comma-separated).
+fn lane_widths() -> Vec<usize> {
+    let Ok(spec) = std::env::var("CAMPAIGN_BENCH_LANES") else {
+        return vec![Campaign::DEFAULT_LANES];
+    };
+    let widths: Vec<usize> = spec
+        .split(',')
+        .map(|tok| {
+            let width = tok
+                .trim()
+                .parse()
+                .expect("CAMPAIGN_BENCH_LANES takes comma-separated lane widths");
+            assert!(width >= 1, "lane widths must be at least 1");
+            width
+        })
+        .collect();
+    assert!(!widths.is_empty(), "CAMPAIGN_BENCH_LANES must name at least one width");
+    widths
+}
+
 fn campaign(platform: PlatformConfig, runs: usize, lanes: usize) -> Campaign {
     Campaign::new(platform, runs)
         .with_campaign_seed(CAMPAIGN_SEED)
@@ -63,7 +87,8 @@ fn campaign_throughput(c: &mut Criterion) {
     let trace = EembcBenchmark::Cacheb.packed_trace(&MemoryLayout::default());
     let events = trace.len() as u64;
     let runs = runs();
-    let lanes = Campaign::DEFAULT_LANES;
+    let widths = lane_widths();
+    let lanes = widths[0];
 
     let mut group = c.benchmark_group("campaign_throughput");
     group.throughput(Throughput::Elements(events * runs as u64));
@@ -79,17 +104,22 @@ fn campaign_throughput(c: &mut Criterion) {
         // the gate still runs, on a reduced campaign, so plain test runs
         // keep smoke-checking the equivalence cheaply.
         let gate_runs = if bench_mode() { runs } else { runs.min(40) };
-        let batched_result = run_campaign(platform, gate_runs, lanes, &trace);
         let sequential_result = run_campaign(platform, gate_runs, 1, &trace);
-        assert_eq!(
-            batched_result, sequential_result,
-            "batched and sequential campaigns diverged for {kind}"
-        );
+        for &width in &widths {
+            let batched_result = run_campaign(platform, gate_runs, width, &trace);
+            assert_eq!(
+                batched_result, sequential_result,
+                "batched ({width} lanes) and sequential campaigns diverged for {kind}"
+            );
+        }
 
         if bench_mode() {
             // One manually timed pass per shape, reported as events/sec
             // (the criterion stub reports wall-clock medians only).
-            for (label, shape_lanes) in [("batched", lanes), ("sequential", 1)] {
+            let mut shapes: Vec<(&str, usize)> =
+                widths.iter().map(|&w| ("batched", w)).collect();
+            shapes.push(("sequential", 1));
+            for (label, shape_lanes) in shapes {
                 let start = Instant::now();
                 black_box(run_campaign(platform, runs, shape_lanes, &trace));
                 let elapsed = start.elapsed().as_secs_f64();

@@ -1,0 +1,72 @@
+//! Decomposes campaign wave cost by stream component (fetch/load/store).
+//!
+//! Replays cut-down `cacheb`-shaped kernels — hot-loop fetches only,
+//! fetches + streaming loads, fetches + stores, and the full kernel —
+//! through the wavefront campaign engine and reports ns/wave for each,
+//! so regressions can be attributed to a wave shape instead of a whole
+//! benchmark.  `MIXPROBE_LANES` overrides the lane width (default 8).
+//!
+//! Run with `cargo run --release -p randmod-bench --example mixprobe`.
+use randmod_bench::bench_platform;
+use randmod_core::PlacementKind;
+use randmod_sim::Campaign;
+use randmod_sim::trace::EventSink;
+use randmod_workloads::{EembcBenchmark, KernelBuilder, MemoryLayout, Workload};
+use std::time::Instant;
+
+struct Part(&'static str, fn(&mut KernelBuilder<'_>, u64));
+
+impl Workload for Part {
+    fn name(&self) -> String {
+        self.0.to_string()
+    }
+    fn emit(&self, layout: &MemoryLayout, sink: &mut dyn EventSink) {
+        let mut b = KernelBuilder::new(*layout, 0xCB, sink);
+        b.loop_with(900, 100, |b, i| (self.1)(b, i));
+    }
+}
+
+fn main() {
+    let lanes: usize = std::env::var("MIXPROBE_LANES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let parts: Vec<(Box<dyn Workload>, &str)> = vec![
+        (Box::new(Part("fetch-only", |_, _| {})), "hot-loop fetches"),
+        (
+            Box::new(Part("loads", |b, i| {
+                b.sequential_loads((i % 4) * 5 * 1024, 160, 32)
+            })),
+            "fetch + streaming loads",
+        ),
+        (
+            Box::new(Part("stores", |b, i| {
+                b.sequential_stores((i % 4) * 5 * 1024 + 256, 32, 32)
+            })),
+            "fetch + stores",
+        ),
+        (Box::new(EembcBenchmark::Cacheb), "full cacheb"),
+    ];
+    let layout = MemoryLayout::default();
+    for kind in [PlacementKind::Modulo, PlacementKind::HashRandom] {
+        for (w, label) in &parts {
+            let trace = w.packed_trace(&layout);
+            let runs = 64usize;
+            let start = Instant::now();
+            let r = Campaign::new(bench_platform(kind), runs)
+                .with_campaign_seed(0xBEEF)
+                .with_threads(1)
+                .with_lanes(lanes)
+                .run(&trace)
+                .unwrap();
+            std::hint::black_box(&r);
+            let el = start.elapsed().as_secs_f64();
+            let waves = trace.len() as f64 * runs as f64 / lanes as f64;
+            println!(
+                "{kind:>13} {label:<24} {:>8} events  {:6.1} ns/wave ({lanes} lanes)",
+                trace.len(),
+                el / waves * 1e9
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Micro-benchmark of the wavefront probe against K scalar probes.
+//!
+//! Times `SetAssocCacheLanes::access_lean_lanes` against a loop over K
+//! scalar `SetAssocCache::access_lean_line` calls on the same access
+//! stream, per placement kind — the apples-to-apples core of the
+//! `campaign_throughput` gap, without trace decode or hierarchy booking.
+//!
+//! Run with `cargo run --release -p randmod-bench --example probe_microbench`.
+
+use randmod_core::cache::{AccessKind, SetAssocCache, SetAssocCacheLanes, WritePolicy};
+use randmod_core::{CacheGeometry, LineAddr, PlacementKind, ReplacementKind};
+use std::hint::black_box;
+use std::time::Instant;
+
+const LANES: usize = 8;
+const STEPS: usize = 2_000_000;
+
+/// A synthetic L1-like access stream: a small hot code/data footprint with
+/// a cold streaming component, similar in hit ratio to the collapsed
+/// campaign replay.
+fn access_stream() -> Vec<(u64, AccessKind)> {
+    let mut stream = Vec::with_capacity(STEPS);
+    for i in 0..STEPS as u64 {
+        let (line, kind) = match i % 4 {
+            0 => (0x40 + (i % 24), AccessKind::InstructionFetch),
+            1 => (0x8000 + (i % 4096), AccessKind::Load),
+            2 => (0x40 + (i % 24), AccessKind::InstructionFetch),
+            _ => {
+                if i % 20 == 3 {
+                    (0x10_000 + (i % 128), AccessKind::Store)
+                } else {
+                    (0x8000 + ((i * 7) % 4096), AccessKind::Load)
+                }
+            }
+        };
+        stream.push((line, kind));
+    }
+    stream
+}
+
+fn main() {
+    let geometry = CacheGeometry::new(128, 4, 32).unwrap();
+    let stream = access_stream();
+    let seeds: Vec<u64> = (0..LANES as u64).map(|l| 0xBEEF ^ (l * 0x9E37)).collect();
+
+    for kind in PlacementKind::ALL {
+        // Wavefront bank.
+        let mut bank = SetAssocCacheLanes::with_kinds(
+            geometry,
+            kind,
+            ReplacementKind::Random,
+            WritePolicy::WriteThrough,
+            LANES,
+        )
+        .unwrap();
+        bank.reseed_wave(&seeds);
+        let mut flags = [Default::default(); LANES];
+        let start = Instant::now();
+        for &(line, access) in &stream {
+            bank.access_lean_lanes(LineAddr::new(line), access, &mut flags);
+            black_box(&flags);
+        }
+        let wave = start.elapsed().as_secs_f64();
+
+        // K scalar caches.
+        let mut scalars: Vec<SetAssocCache> = seeds
+            .iter()
+            .map(|&s| {
+                let mut c = SetAssocCache::with_kinds(
+                    geometry,
+                    kind,
+                    ReplacementKind::Random,
+                    WritePolicy::WriteThrough,
+                )
+                .unwrap();
+                c.reseed(s);
+                c
+            })
+            .collect();
+        let start = Instant::now();
+        for &(line, access) in &stream {
+            for cache in scalars.iter_mut() {
+                black_box(cache.access_lean_line(LineAddr::new(line), access));
+            }
+        }
+        let scalar = start.elapsed().as_secs_f64();
+
+        let per_wave = wave / STEPS as f64 * 1e9;
+        let per_scalar = scalar / STEPS as f64 * 1e9;
+        println!(
+            "{kind:>14}: wave {per_wave:7.1} ns/op  scalar-x{LANES} {per_scalar:7.1} ns/op  speedup {:.2}x",
+            per_scalar / per_wave
+        );
+    }
+}

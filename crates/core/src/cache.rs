@@ -17,8 +17,8 @@
 
 use crate::address::{Address, CacheGeometry, LineAddr};
 use crate::error::ConfigError;
-use crate::placement::{Placement, PlacementKind, PlacementPolicy};
-use crate::prng::CombinedLfsr;
+use crate::placement::{Placement, PlacementKind, PlacementLanes, PlacementPolicy};
+use crate::prng::{CombinedLfsr, CombinedLfsrLanes};
 use crate::replacement::{ReplacementKind, ReplacementState};
 use std::fmt;
 
@@ -621,6 +621,710 @@ impl SetAssocCache {
     }
 }
 
+/// `u32::MAX` as a way sentinel in the wavefront probe's select chains
+/// ("no hit way found yet" / "no invalid way found yet").
+const NO_WAY: u32 = u32::MAX;
+
+/// Slot count of the wave residency filter (direct-mapped on the low line
+/// address bits; must be a power of two).  Sized to cover a hot loop's
+/// instruction lines plus its resident data working set without slot
+/// collisions (the cacheb kernel revisits ~800 distinct lines).
+const FILTER_SLOTS: usize = 1024;
+
+/// All-ones bitmask over the low `n` lane bits (`n <= 64`).
+fn mask_of(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// K per-seed caches probed as one wavefront.
+///
+/// The lane-batched replay engine applies each decoded trace op to K
+/// independent per-seed cache hierarchies.  `SetAssocCacheLanes` stores
+/// those K caches' tags *lane-major* — `tags[(set * ways + way) * K + lane]`
+/// — so the K tags a probe must compare for one way sit in one contiguous
+/// block, and processes one op across all lanes as fixed-width chunks:
+///
+/// * **Uniform placement** (Modulo/XOR — the set index is seed-independent):
+///   every lane probes the same set, so the probe sweeps `ways` contiguous
+///   K-wide rows with a branch-free select chain the compiler
+///   autovectorizes (compare a row against the broadcast line address, blend
+///   the way number into the per-lane hit/invalid accumulators).
+/// * **Per-lane placement** (hRP/RM/custom): [`PlacementLanes::index_lanes`]
+///   produces K set indices in one sweep, then the same select chain runs
+///   with per-lane strides.
+/// * **Replacement draws are batched**: a miss wave collects the lanes that
+///   need a victim (full set, Random replacement) and draws all of them
+///   with one [`CombinedLfsrLanes::next_below_lanes`] sweep.
+///
+/// Ways are scanned *highest first* with "last write wins" selects, so the
+/// accumulated hit way and invalid way are the **lowest** matching way —
+/// exactly what the scalar early-exit probe finds (at most one way can
+/// match a line, and the scalar invalid-way choice is the first one seen).
+/// Each lane's hit/miss/eviction sequence — and therefore its cycles and
+/// statistics — is bit-identical to a scalar [`SetAssocCache`] reseeded
+/// with the same value; the batch-equivalence suites pin this.
+///
+/// The scalar model's MRU read filter survives — and widens — as a
+/// *wave residency filter*: a small direct-mapped table of recently read
+/// lines and their K per-lane cell indices.  Every lane replays the same
+/// line stream, so one table serves the whole wave: a repeat read whose
+/// line is still resident in *every* lane short-circuits placement and
+/// probe entirely, which is what makes hot-loop instruction fetch and
+/// in-cache data reuse nearly free per lane.  Like the scalar MRU filter
+/// it is armed only under Random replacement, where a read hit mutates no
+/// state, so taking or missing the fast path changes no outcome.  The
+/// per-lane valid bits are *authoritative*: every fill that evicts a line
+/// also clears the victim's bit in the victim's filter slot, so a set bit
+/// proves residency and the fast path needs no tag re-check (fills are
+/// rare; filter hits are the steady state).  Idempotent repeat stores
+/// short-circuit too — a write-through store hit mutates nothing, and a
+/// write-back store hit whose dirty bits are already set mutates nothing.
+#[derive(Debug, Clone)]
+pub struct SetAssocCacheLanes {
+    geometry: CacheGeometry,
+    placement: PlacementLanes,
+    write_policy: WritePolicy,
+    replacement_kind: ReplacementKind,
+    ways: usize,
+    /// Lane capacity K (the stride of the lane-major layout).
+    lanes: usize,
+    /// Lanes in use (`reseed_wave` seeds a prefix of the capacity).
+    active: usize,
+    /// Whether every lane maps a line to the same set (Modulo/XOR).
+    uniform: bool,
+    /// Lane-major tag array; see the struct docs for the layout.
+    tags: Vec<u64>,
+    /// Packed dirty bits, one per (line, lane) in the same linear order.
+    dirty: Vec<u64>,
+    /// Per-lane replacement state (same policy logic as the scalar cache).
+    replacement: Vec<ReplacementState>,
+    /// Per-lane PRNG bank for victim draws.
+    rng: CombinedLfsrLanes,
+    /// Per-lane set index of the current wave.
+    set_scratch: Vec<u32>,
+    /// Per-lane linear index of `(set, way 0, lane)` for the current wave.
+    lane_base: Vec<usize>,
+    /// Per-lane lowest hitting way ([`NO_WAY`] = miss).
+    hit_way: Vec<u32>,
+    /// Per-lane lowest invalid way ([`NO_WAY`] = set full).
+    inv_way: Vec<u32>,
+    /// Lanes whose miss needs a random victim draw this wave.
+    draw_lanes: Vec<u32>,
+    /// The batched draws for `draw_lanes`.
+    draws: Vec<u32>,
+    /// Wave residency filter: line address per slot ([`FILTER_SLOTS`]
+    /// direct-mapped entries, [`INVALID_TAG`] = empty).  Armed only under
+    /// Random replacement, where a read hit mutates no per-lane state.
+    filter_tags: Vec<u64>,
+    /// Per-slot bitmask of lanes in which the slot's line is resident (bit
+    /// `lane` set).  Authoritative: set when a wave or sparse access
+    /// leaves the line resident, cleared when a fill evicts it, so the
+    /// fast paths trust it without a tag re-check.
+    filter_valid: Vec<u64>,
+    /// Per-slot, per-lane flat tag index of the filtered line
+    /// (`filter_index[slot * K + lane]`; only consulted by the write-back
+    /// repeat-store fast path to test dirty bits).  Stored as `u32` to
+    /// halve the table's cache footprint.
+    filter_index: Vec<u32>,
+    /// Whether the residency filter may be armed (replacement is Random,
+    /// the lane count fits the per-slot valid bitmask, and every tag index
+    /// fits `u32`).
+    filter_enabled: bool,
+    /// Bitmask of the active lanes (`(1 << active) - 1`), the full-wave
+    /// residency requirement.
+    active_mask: u64,
+}
+
+impl SetAssocCacheLanes {
+    /// Creates a K-lane cache bank from policy identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the placement policy cannot be built for
+    /// this geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn with_kinds(
+        geometry: CacheGeometry,
+        placement: PlacementKind,
+        replacement: ReplacementKind,
+        write_policy: WritePolicy,
+        lanes: usize,
+    ) -> Result<Self, ConfigError> {
+        Ok(Self::from_lane_placement(
+            geometry,
+            PlacementLanes::new(placement, geometry, lanes)?,
+            replacement,
+            write_policy,
+        ))
+    }
+
+    /// Creates a K-lane cache bank over per-lane scalar placements (the
+    /// [`Placement::Custom`] fallback: every lane dispatches through its
+    /// boxed policy's scalar path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placements` is empty, the geometries disagree, or a
+    /// policy's geometry differs from `geometry`.
+    pub fn with_placements(
+        geometry: CacheGeometry,
+        placements: Vec<Placement>,
+        replacement: ReplacementKind,
+        write_policy: WritePolicy,
+    ) -> Self {
+        Self::from_lane_placement(
+            geometry,
+            PlacementLanes::from_placements(placements),
+            replacement,
+            write_policy,
+        )
+    }
+
+    fn from_lane_placement(
+        geometry: CacheGeometry,
+        placement: PlacementLanes,
+        replacement: ReplacementKind,
+        write_policy: WritePolicy,
+    ) -> Self {
+        assert_eq!(
+            placement.geometry(),
+            geometry,
+            "placement policy geometry does not match the cache geometry"
+        );
+        let lanes = placement.lane_count();
+        let ways = geometry.ways() as usize;
+        let cells = geometry.sets() as usize * ways * lanes;
+        let uniform = placement.is_uniform();
+        SetAssocCacheLanes {
+            geometry,
+            placement,
+            write_policy,
+            replacement_kind: replacement,
+            ways,
+            lanes,
+            active: lanes,
+            uniform,
+            tags: vec![INVALID_TAG; cells],
+            dirty: vec![0; cells.div_ceil(64)],
+            replacement: (0..lanes)
+                .map(|_| ReplacementState::new(replacement, geometry.sets(), geometry.ways()))
+                .collect(),
+            rng: CombinedLfsrLanes::new(lanes),
+            set_scratch: vec![0; lanes],
+            lane_base: vec![0; lanes],
+            hit_way: vec![NO_WAY; lanes],
+            inv_way: vec![NO_WAY; lanes],
+            draw_lanes: Vec::with_capacity(lanes),
+            draws: vec![0; lanes],
+            filter_tags: vec![INVALID_TAG; FILTER_SLOTS],
+            filter_valid: vec![0; FILTER_SLOTS],
+            filter_index: vec![0; FILTER_SLOTS * lanes],
+            filter_enabled: replacement == ReplacementKind::Random
+                && lanes <= 64
+                && cells <= u32::MAX as usize,
+            active_mask: mask_of(lanes.min(64)),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Lane capacity K.
+    pub fn lane_count(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lanes seeded by the last [`Self::reseed_wave`].
+    pub fn active_lanes(&self) -> usize {
+        self.active
+    }
+
+    /// Whether the bank dispatches placement through boxed scalar policies.
+    pub fn uses_custom_placement(&self) -> bool {
+        self.placement.is_custom()
+    }
+
+    /// Reseeds lanes `0..seeds.len()` (one layout per seed) and flushes
+    /// every lane's contents, exactly as [`SetAssocCache::reseed`] does per
+    /// cache.  Subsequent waves step `seeds.len()` active lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is longer than the lane capacity.
+    pub fn reseed_wave(&mut self, seeds: &[u64]) {
+        assert!(
+            seeds.len() <= self.lanes,
+            "{} seeds exceed the {} configured lanes",
+            seeds.len(),
+            self.lanes
+        );
+        self.active = seeds.len();
+        self.filter_tags.fill(INVALID_TAG);
+        self.filter_valid.fill(0);
+        self.active_mask = mask_of(self.active.min(64));
+        self.tags.fill(INVALID_TAG);
+        self.dirty.fill(0);
+        for state in &mut self.replacement {
+            state.reset();
+        }
+        for (lane, &seed) in seeds.iter().enumerate() {
+            self.placement.reseed_lane(lane, seed);
+            self.rng.reseed_lane(lane, seed ^ 0x5EED_5EED_5EED_5EED);
+        }
+    }
+
+    /// Applies one access to every active lane, writing lane `i`'s
+    /// [`AccessFlags`] into `flags[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `flags.len()` differs from the active lane count.
+    #[inline]
+    pub fn access_lean_lanes(
+        &mut self,
+        line: LineAddr,
+        kind: AccessKind,
+        flags: &mut [AccessFlags],
+    ) {
+        debug_assert_eq!(flags.len(), self.active, "one flags slot per active lane");
+        debug_assert_ne!(
+            line.raw(),
+            INVALID_TAG,
+            "line address collides with the invalid-tag sentinel"
+        );
+        let raw = line.raw();
+        let is_write = kind.is_write();
+        let a = self.active;
+        let k = self.lanes;
+        let row = self.ways * k;
+
+        // Residency-filter fast path: a repeat access to a recently seen
+        // line, still resident in every lane, needs no placement indices
+        // and no probe (armed only under Random replacement).  A read hit
+        // mutates no state; a write-through store hit mutates none either;
+        // a write-back store hit only sets the dirty bit, so it may
+        // short-circuit when every lane's dirty bit is *already* set (the
+        // common repeat store).  The valid bits are authoritative: every
+        // fill that evicts a line clears the victim's bit in its filter
+        // slot, so a set bit *proves* residency and no tag re-check is
+        // needed.  Every lane replays the same line stream, so one table
+        // serves the whole wave.
+        let wb = self.write_policy == WritePolicy::WriteBack;
+        let slot = (raw as usize) & (FILTER_SLOTS - 1);
+        if self.filter_tags[slot] == raw
+            && self.filter_valid[slot] & self.active_mask == self.active_mask
+        {
+            if !(is_write && wb) {
+                flags.fill(AccessFlags(AccessFlags::HIT));
+                return;
+            }
+            let indices = &self.filter_index[slot * k..slot * k + a];
+            let mut dirty = true;
+            for &index in indices {
+                dirty &= bit_get(&self.dirty, index as usize);
+            }
+            if dirty {
+                flags.fill(AccessFlags(AccessFlags::HIT));
+                return;
+            }
+        }
+
+        // Placement stage: one index for a uniform wave, K for a scattered
+        // one, plus each lane's base cell in the lane-major tag array.
+        if self.uniform {
+            let set = self.placement.index_uniform(line);
+            let base = set as usize * row;
+            if self.replacement_kind != ReplacementKind::Random {
+                // Only LRU touches and FIFO victim picks read the per-lane
+                // set scratch; Random resolution never does.
+                self.set_scratch[..a].fill(set);
+            }
+            for (lane, slot) in self.lane_base[..a].iter_mut().enumerate() {
+                *slot = base + lane;
+            }
+        } else {
+            self.placement.index_lanes(line, &mut self.set_scratch[..a]);
+            for (lane, slot) in self.lane_base[..a].iter_mut().enumerate() {
+                *slot = self.set_scratch[lane] as usize * row + lane;
+            }
+        }
+
+        // Probe stage: accumulate per-lane hit/invalid *way bitmasks* in a
+        // branch-free forward sweep (bit `w` set when way `w` matches),
+        // then convert each mask's lowest set bit to a way number — the
+        // lowest matching way is exactly what the scalar early-exit probe
+        // finds (at most one way can hit a line, and the scalar
+        // invalid-way choice is the first one seen).  The uniform sweep
+        // reads contiguous K-wide rows the compiler vectorizes; banks
+        // wider than 32 ways (none in practice) fall back to select
+        // chains.
+        let hit_way = &mut self.hit_way[..a];
+        let inv_way = &mut self.inv_way[..a];
+        if self.ways <= 32 {
+            hit_way.fill(0);
+            inv_way.fill(0);
+            if self.uniform {
+                let base = self.lane_base[0];
+                for w in 0..self.ways {
+                    let tag_row = &self.tags[base + w * k..base + w * k + a];
+                    let bit = 1u32 << w;
+                    for (lane, &tag) in tag_row.iter().enumerate() {
+                        hit_way[lane] |= if tag == raw { bit } else { 0 };
+                        inv_way[lane] |= if tag == INVALID_TAG { bit } else { 0 };
+                    }
+                }
+            } else {
+                for w in 0..self.ways {
+                    let offset = w * k;
+                    let bit = 1u32 << w;
+                    for lane in 0..a {
+                        let tag = self.tags[self.lane_base[lane] + offset];
+                        hit_way[lane] |= if tag == raw { bit } else { 0 };
+                        inv_way[lane] |= if tag == INVALID_TAG { bit } else { 0 };
+                    }
+                }
+            }
+            for lane in 0..a {
+                let hit_mask = hit_way[lane];
+                hit_way[lane] = if hit_mask == 0 {
+                    NO_WAY
+                } else {
+                    hit_mask.trailing_zeros()
+                };
+                let inv_mask = inv_way[lane];
+                inv_way[lane] = if inv_mask == 0 {
+                    NO_WAY
+                } else {
+                    inv_mask.trailing_zeros()
+                };
+            }
+        } else {
+            hit_way.fill(NO_WAY);
+            inv_way.fill(NO_WAY);
+            for w in (0..self.ways).rev() {
+                let offset = w * k;
+                let way = w as u32;
+                for lane in 0..a {
+                    let tag = self.tags[self.lane_base[lane] + offset];
+                    hit_way[lane] = if tag == raw { way } else { hit_way[lane] };
+                    inv_way[lane] = if tag == INVALID_TAG { way } else { inv_way[lane] };
+                }
+            }
+        }
+
+        // One pass over the converted ways: detect the all-hit wave and
+        // collect the lanes whose miss needs a random victim draw (full
+        // set, Random replacement, and never a write-through store miss —
+        // those allocate nothing and must not advance the lane's PRNG).
+        let wt_store = is_write && !wb;
+        let collect = self.replacement_kind == ReplacementKind::Random && !wt_store;
+        self.draw_lanes.clear();
+        let mut all_hit = true;
+        for lane in 0..a {
+            let hw = hit_way[lane];
+            all_hit &= hw != NO_WAY;
+            if collect && hw == NO_WAY && inv_way[lane] == NO_WAY {
+                self.draw_lanes.push(lane as u32);
+            }
+        }
+
+        // All-lanes-hit fast path: under Random replacement (the only mode
+        // that arms the filter) a read hit mutates nothing, and a
+        // write-through store hit mutates nothing either, so those waves
+        // resolve to all-HIT without per-lane work.  Write-back store hits
+        // still need their dirty bits set and take the resolution loop.
+        // This replaces the scalar MRU filter, and extends it to any
+        // rediscovered hit, not just the most recent line.
+        if all_hit && self.filter_enabled && !(is_write && wb) {
+            for (lane, &hw) in hit_way.iter().enumerate() {
+                self.filter_index[slot * k + lane] =
+                    (self.lane_base[lane] + hw as usize * k) as u32;
+            }
+            self.filter_tags[slot] = raw;
+            self.filter_valid[slot] = self.active_mask;
+            flags.fill(AccessFlags(AccessFlags::HIT));
+            return;
+        }
+
+        // Miss wave: batch the victim draws in one PRNG sweep instead of
+        // one call per lane (ascending lane order, matching the scalar
+        // engine's per-lane draw stream).
+        if !self.draw_lanes.is_empty() {
+            self.rng.next_below_lanes(
+                self.geometry.ways(),
+                &self.draw_lanes,
+                &mut self.draws,
+            );
+        }
+
+        // Hot read-wave resolution (Random replacement with the filter
+        // armed): hits mutate nothing but their filter booking, so the
+        // first pass books every lane branch-free — predicated flag and
+        // filter-index writes plus a branch-free compaction of the lanes
+        // that missed — and a second, short loop fills only those lanes.
+        // The data-dependent hit/miss branch of the generic loop
+        // mispredicts roughly once per mixed wave on a ~50% miss-rate
+        // workload; compaction moves that cost to a predictable loop
+        // bound.  The set scratch doubles as the miss list: under Random
+        // replacement nothing reads it as a set index (LRU touches are
+        // skipped and `victim_with` is unreachable).  After a read wave
+        // every lane holds the line, so the filter slot is retagged with
+        // the full active mask unconditionally.
+        if !is_write && self.filter_enabled {
+            let mut misses = 0usize;
+            for (lane, (&hw, flag)) in hit_way.iter().zip(flags.iter_mut()).enumerate() {
+                let hit = hw != NO_WAY;
+                *flag = AccessFlags(if hit { AccessFlags::HIT } else { 0 });
+                let way = if hit { hw as usize } else { 0 };
+                self.filter_index[slot * k + lane] = (self.lane_base[lane] + way * k) as u32;
+                self.set_scratch[misses] = lane as u32;
+                misses += usize::from(!hit);
+            }
+            let mut draw_cursor = 0;
+            for i in 0..misses {
+                let lane = self.set_scratch[i] as usize;
+                let way = if inv_way[lane] != NO_WAY {
+                    inv_way[lane]
+                } else {
+                    let draw = self.draws[draw_cursor];
+                    draw_cursor += 1;
+                    draw
+                };
+                let index = self.lane_base[lane] + way as usize * k;
+                let old_tag = self.tags[index];
+                let mut fl = AccessFlags::FILLED;
+                if old_tag != INVALID_TAG {
+                    fl |= AccessFlags::EVICTED;
+                    if wb && bit_get(&self.dirty, index) {
+                        fl |= AccessFlags::WRITEBACK;
+                    }
+                    // Keep the valid bits authoritative: the victim is no
+                    // longer resident in this lane.
+                    let old_slot = (old_tag as usize) & (FILTER_SLOTS - 1);
+                    if self.filter_tags[old_slot] == old_tag {
+                        self.filter_valid[old_slot] &= !(1u64 << lane);
+                    }
+                }
+                self.tags[index] = raw;
+                if wb {
+                    bit_clear(&mut self.dirty, index);
+                }
+                self.filter_index[slot * k + lane] = index as u32;
+                flags[lane] = AccessFlags(fl);
+            }
+            self.filter_tags[slot] = raw;
+            self.filter_valid[slot] = self.active_mask;
+            return;
+        }
+
+        // Resolution stage: book each lane's outcome.  Every lane the wave
+        // leaves resident — read hits and fills, write-back store hits and
+        // fills, write-through store hits — arms its residency-filter bit
+        // on the way out, so repeat reads *and* idempotent repeat stores
+        // can short-circuit; a write-through store miss allocates nothing
+        // and arms nothing.  `touch` only mutates LRU state, and the dirty
+        // bitmap only matters under write-back, so both are skipped
+        // wholesale when the policy makes them no-ops.
+        let wb_write = is_write && wb;
+        let do_touch = self.replacement_kind == ReplacementKind::Lru;
+        let arm = self.filter_enabled;
+        let mut armed_bits = 0u64;
+        let mut draw_cursor = 0;
+        for lane in 0..a {
+            let set = self.set_scratch[lane];
+            let base = self.lane_base[lane];
+            let hw = hit_way[lane];
+            flags[lane] = if hw != NO_WAY {
+                if do_touch {
+                    self.replacement[lane].touch(set, hw);
+                }
+                if wb_write {
+                    bit_set(&mut self.dirty, base + hw as usize * k);
+                }
+                if arm {
+                    self.filter_index[slot * k + lane] = (base + hw as usize * k) as u32;
+                    armed_bits |= 1u64 << lane;
+                }
+                AccessFlags(AccessFlags::HIT)
+            } else if wt_store {
+                // Write-through store miss: goes straight to the next
+                // level, no allocation.
+                AccessFlags(0)
+            } else {
+                let way = if inv_way[lane] != NO_WAY {
+                    inv_way[lane]
+                } else if self.replacement_kind == ReplacementKind::Random {
+                    let draw = self.draws[draw_cursor];
+                    draw_cursor += 1;
+                    draw
+                } else {
+                    self.replacement[lane]
+                        .victim_with(set, |_| unreachable!("non-random replacement never draws"))
+                };
+                let index = base + way as usize * k;
+                let old_tag = self.tags[index];
+                let mut fl = AccessFlags::FILLED;
+                if old_tag != INVALID_TAG {
+                    fl |= AccessFlags::EVICTED;
+                    if wb && bit_get(&self.dirty, index) {
+                        fl |= AccessFlags::WRITEBACK;
+                    }
+                    if arm {
+                        // Keep the valid bits authoritative: the victim is
+                        // no longer resident in this lane.
+                        let old_slot = (old_tag as usize) & (FILTER_SLOTS - 1);
+                        if self.filter_tags[old_slot] == old_tag {
+                            self.filter_valid[old_slot] &= !(1u64 << lane);
+                        }
+                    }
+                }
+                self.tags[index] = raw;
+                if wb_write {
+                    bit_set(&mut self.dirty, index);
+                } else if wb {
+                    bit_clear(&mut self.dirty, index);
+                }
+                if do_touch {
+                    self.replacement[lane].touch(set, way);
+                }
+                if arm {
+                    self.filter_index[slot * k + lane] = index as u32;
+                    armed_bits |= 1u64 << lane;
+                }
+                AccessFlags(fl)
+            };
+        }
+        if armed_bits != 0 {
+            if self.filter_tags[slot] == raw {
+                self.filter_valid[slot] |= armed_bits;
+            } else {
+                self.filter_tags[slot] = raw;
+                self.filter_valid[slot] = armed_bits;
+            }
+        }
+    }
+
+    /// Applies one access to a single lane (the sparse path: an L2 read
+    /// wave only probes the lanes whose L1 missed).  Bit-identical to that
+    /// lane's scalar [`SetAssocCache::access_lean_line`].
+    #[inline]
+    pub fn access_lean_lane(&mut self, lane: usize, line: LineAddr, kind: AccessKind) -> AccessFlags {
+        debug_assert!(lane < self.active, "lane {lane} not active");
+        debug_assert_ne!(
+            line.raw(),
+            INVALID_TAG,
+            "line address collides with the invalid-tag sentinel"
+        );
+        let raw = line.raw();
+        let is_write = kind.is_write();
+        let k = self.lanes;
+        // Residency-filter fast path, per lane: the slot's valid bitmask
+        // lets a single lane trust (and arm) its own index without
+        // touching the other lanes' entries.  Reads only, Random
+        // replacement only — the same no-mutation argument as the wave
+        // fast path.
+        let slot = (raw as usize) & (FILTER_SLOTS - 1);
+        let lane_bit = 1u64 << (lane & 63);
+        if !is_write && self.filter_tags[slot] == raw && self.filter_valid[slot] & lane_bit != 0 {
+            return AccessFlags(AccessFlags::HIT);
+        }
+
+        let set = self.placement.index_lane(lane, line);
+        let base = set as usize * self.ways * k + lane;
+
+        // Scalar-style probe over this lane's strided cells.
+        let mut invalid_way = NO_WAY;
+        let mut hit_way = NO_WAY;
+        for w in 0..self.ways {
+            let tag = self.tags[base + w * k];
+            if tag == raw {
+                hit_way = w as u32;
+                break;
+            }
+            if tag == INVALID_TAG && invalid_way == NO_WAY {
+                invalid_way = w as u32;
+            }
+        }
+
+        let wb = self.write_policy == WritePolicy::WriteBack;
+        let do_touch = self.replacement_kind == ReplacementKind::Lru;
+        if hit_way != NO_WAY {
+            if do_touch {
+                self.replacement[lane].touch(set, hit_way);
+            }
+            if is_write && wb {
+                bit_set(&mut self.dirty, base + hit_way as usize * k);
+            } else if self.filter_enabled && !is_write {
+                self.arm_filter_lane(slot, lane, lane_bit, raw, base + hit_way as usize * k);
+            }
+            return AccessFlags(AccessFlags::HIT);
+        }
+        if is_write && !wb {
+            return AccessFlags(0);
+        }
+        let way = if invalid_way != NO_WAY {
+            invalid_way
+        } else {
+            let rng = &mut self.rng;
+            self.replacement[lane].victim_with(set, |ways| rng.next_below_lane(lane, ways))
+        };
+        let index = base + way as usize * k;
+        let old_tag = self.tags[index];
+        let mut fl = AccessFlags::FILLED;
+        if old_tag != INVALID_TAG {
+            fl |= AccessFlags::EVICTED;
+            if wb && bit_get(&self.dirty, index) {
+                fl |= AccessFlags::WRITEBACK;
+            }
+            if self.filter_enabled {
+                // Keep the valid bits authoritative: the victim is no
+                // longer resident in this lane.
+                let old_slot = (old_tag as usize) & (FILTER_SLOTS - 1);
+                if self.filter_tags[old_slot] == old_tag {
+                    self.filter_valid[old_slot] &= !lane_bit;
+                }
+            }
+        }
+        self.tags[index] = raw;
+        if is_write && wb {
+            bit_set(&mut self.dirty, index);
+        } else if wb {
+            bit_clear(&mut self.dirty, index);
+        }
+        if do_touch {
+            self.replacement[lane].touch(set, way);
+        }
+        if self.filter_enabled && !is_write {
+            self.arm_filter_lane(slot, lane, lane_bit, raw, index);
+        }
+        AccessFlags(fl)
+    }
+
+    /// Arms one lane's residency-filter entry for `raw` at `slot` after a
+    /// sparse read left the line resident at flat tag index `index`.  A
+    /// slot holding a different line is retagged and its other lanes'
+    /// valid bits dropped (they described the old line's residency).
+    #[inline]
+    fn arm_filter_lane(&mut self, slot: usize, lane: usize, lane_bit: u64, raw: u64, index: usize) {
+        if self.filter_tags[slot] == raw {
+            self.filter_valid[slot] |= lane_bit;
+        } else {
+            self.filter_tags[slot] = raw;
+            self.filter_valid[slot] = lane_bit;
+        }
+        self.filter_index[slot * self.lanes + lane] = index as u32;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -892,6 +1596,189 @@ mod tests {
         let g2 = CacheGeometry::new(16, 2, 32).unwrap();
         let placement = PlacementKind::Modulo.build(g2).unwrap();
         let _ = SetAssocCache::new(g1, placement, ReplacementKind::Lru, WritePolicy::WriteThrough);
+    }
+
+    /// Drives a lane bank and K scalar caches through the same access
+    /// stream and asserts bit-identical flags on every access.
+    fn assert_lane_bank_matches_scalars(
+        geometry: CacheGeometry,
+        placement: PlacementKind,
+        replacement: ReplacementKind,
+        write_policy: WritePolicy,
+        active: usize,
+        capacity: usize,
+    ) {
+        use crate::prng::SplitMix64;
+        let mut bank =
+            SetAssocCacheLanes::with_kinds(geometry, placement, replacement, write_policy, capacity)
+                .unwrap();
+        let seeds: Vec<u64> = (0..active as u64).map(|i| i * 0x9E37_79B9 + 0xFEED).collect();
+        bank.reseed_wave(&seeds);
+        assert_eq!(bank.active_lanes(), active);
+        let mut scalars: Vec<SetAssocCache> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut cache =
+                    SetAssocCache::with_kinds(geometry, placement, replacement, write_policy)
+                        .unwrap();
+                cache.reseed(seed);
+                cache
+            })
+            .collect();
+        let mut sm = SplitMix64::new(0x1234);
+        let mut flags = vec![AccessFlags::default(); active];
+        for step in 0..4_000u64 {
+            let addr = Address::new(sm.next_u64() & 0x3_FFFF);
+            let line = geometry.line_addr(addr);
+            let kind = match step % 5 {
+                0 | 1 => AccessKind::Load,
+                2 => AccessKind::Store,
+                _ => AccessKind::InstructionFetch,
+            };
+            if step % 7 == 3 {
+                // Sparse single-lane access (the L2 read-wave path).
+                let lane = (step % active as u64) as usize;
+                assert_eq!(
+                    bank.access_lean_lane(lane, line, kind),
+                    scalars[lane].access_lean_line(line, kind),
+                    "{placement}/{replacement} sparse lane {lane} step {step}"
+                );
+            } else {
+                bank.access_lean_lanes(line, kind, &mut flags);
+                for (lane, scalar) in scalars.iter_mut().enumerate() {
+                    assert_eq!(
+                        flags[lane],
+                        scalar.access_lean_line(line, kind),
+                        "{placement}/{replacement}/{write_policy:?} lane {lane} step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_bank_matches_scalar_caches_for_every_policy_mix() {
+        let geometry = CacheGeometry::new(8, 4, 32).unwrap();
+        for placement in PlacementKind::ALL {
+            for replacement in ReplacementKind::ALL {
+                for write_policy in [WritePolicy::WriteThrough, WritePolicy::WriteBack] {
+                    assert_lane_bank_matches_scalars(
+                        geometry,
+                        placement,
+                        replacement,
+                        write_policy,
+                        4,
+                        4,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_bank_partial_waves_match_scalar_caches() {
+        // Non-multiple widths and partial final chunks: active < capacity,
+        // including a single active lane and odd counts.
+        let geometry = CacheGeometry::new(8, 4, 32).unwrap();
+        for (active, capacity) in [(1usize, 8usize), (3, 8), (5, 8), (3, 3), (7, 16)] {
+            for placement in [PlacementKind::Modulo, PlacementKind::HashRandom] {
+                assert_lane_bank_matches_scalars(
+                    geometry,
+                    placement,
+                    ReplacementKind::Random,
+                    WritePolicy::WriteThrough,
+                    active,
+                    capacity,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_bank_reseed_wave_flushes_every_lane() {
+        let geometry = CacheGeometry::new(8, 2, 32).unwrap();
+        let mut bank = SetAssocCacheLanes::with_kinds(
+            geometry,
+            PlacementKind::RandomModulo,
+            ReplacementKind::Random,
+            WritePolicy::WriteThrough,
+            4,
+        )
+        .unwrap();
+        bank.reseed_wave(&[1, 2, 3, 4]);
+        let mut flags = vec![AccessFlags::default(); 4];
+        let line = geometry.line_addr(Address::new(0x40));
+        bank.access_lean_lanes(line, AccessKind::Load, &mut flags);
+        assert!(flags.iter().all(|f| f.is_miss()));
+        bank.access_lean_lanes(line, AccessKind::Load, &mut flags);
+        assert!(flags.iter().all(|f| f.is_hit()));
+        // Reseeding flushes: the same line must miss again on every lane,
+        // even with identical seeds (contents are gone).
+        bank.reseed_wave(&[1, 2, 3, 4]);
+        bank.access_lean_lanes(line, AccessKind::Load, &mut flags);
+        assert!(flags.iter().all(|f| f.is_miss()), "phantom hit after reseed_wave");
+    }
+
+    #[test]
+    fn lane_bank_custom_placement_matches_scalar_boxed_caches() {
+        // The Placement::Custom fallback: boxed dyn policies still work,
+        // dispatched per lane through the scalar path.
+        use crate::prng::SplitMix64;
+        let geometry = CacheGeometry::new(8, 2, 32).unwrap();
+        let seeds = [11u64, 22, 33];
+        let placements: Vec<Placement> = seeds
+            .iter()
+            .map(|_| Placement::from(PlacementKind::HashRandom.build(geometry).unwrap()))
+            .collect();
+        let mut bank = SetAssocCacheLanes::with_placements(
+            geometry,
+            placements,
+            ReplacementKind::Random,
+            WritePolicy::WriteThrough,
+        );
+        assert!(bank.uses_custom_placement());
+        bank.reseed_wave(&seeds);
+        let mut scalars: Vec<SetAssocCache> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut cache = SetAssocCache::new(
+                    geometry,
+                    PlacementKind::HashRandom.build(geometry).unwrap(),
+                    ReplacementKind::Random,
+                    WritePolicy::WriteThrough,
+                );
+                cache.reseed(seed);
+                cache
+            })
+            .collect();
+        let mut sm = SplitMix64::new(5);
+        let mut flags = vec![AccessFlags::default(); 3];
+        for step in 0..3_000 {
+            let line = geometry.line_addr(Address::new(sm.next_u64() & 0xFFFF));
+            bank.access_lean_lanes(line, AccessKind::Load, &mut flags);
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                assert_eq!(
+                    flags[lane],
+                    scalar.access_lean_line(line, AccessKind::Load),
+                    "custom lane {lane} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seeds exceed the")]
+    fn lane_bank_rejects_too_many_seeds() {
+        let geometry = CacheGeometry::new(8, 2, 32).unwrap();
+        let mut bank = SetAssocCacheLanes::with_kinds(
+            geometry,
+            PlacementKind::Modulo,
+            ReplacementKind::Random,
+            WritePolicy::WriteThrough,
+            2,
+        )
+        .unwrap();
+        bank.reseed_wave(&[1, 2, 3]);
     }
 
     #[test]

@@ -59,11 +59,14 @@ pub mod prng;
 pub mod replacement;
 
 pub use address::{Address, CacheGeometry, LineAddr};
-pub use cache::{AccessFlags, AccessKind, AccessOutcome, CacheStats, SetAssocCache, WritePolicy};
+pub use cache::{
+    AccessFlags, AccessKind, AccessOutcome, CacheStats, SetAssocCache, SetAssocCacheLanes,
+    WritePolicy,
+};
 pub use error::ConfigError;
 pub use placement::{
-    HashRandomPlacement, ModuloPlacement, Placement, PlacementKind, PlacementPolicy,
-    RandomModuloPlacement, XorPlacement,
+    HashRandomPlacement, ModuloPlacement, Placement, PlacementKind, PlacementLanes,
+    PlacementPolicy, RandomModuloPlacement, XorPlacement,
 };
-pub use prng::{CombinedLfsr, SeedSequence, SplitMix64};
+pub use prng::{CombinedLfsr, CombinedLfsrLanes, SeedSequence, SplitMix64};
 pub use replacement::{ReplacementKind, ReplacementState};

@@ -340,6 +340,464 @@ impl From<Box<dyn PlacementPolicy>> for Placement {
 }
 
 // ---------------------------------------------------------------------------
+// Lane-batched placement (wavefront engine)
+// ---------------------------------------------------------------------------
+
+/// Placement across K independent seed lanes, slice-in/slice-out.
+///
+/// The lane-batched replay engine simulates K per-seed cache hierarchies in
+/// lock-step: one decoded trace op is applied to all lanes before the next
+/// op is decoded.  `PlacementLanes` is the placement stage of that
+/// wavefront — one line address in, K set indices out:
+///
+/// * **Modulo / XOR** are seed-independent, so every lane maps the line to
+///   the *same* set.  [`Self::is_uniform`] reports this, and the cache
+///   probes one contiguous K-wide row per way instead of K scattered sets.
+/// * **hRP** keeps per-lane round keys; [`Self::index_lanes`] runs K
+///   independent hash chains in one fixed-trip sweep, which the CPU
+///   overlaps (the scalar engine serialises the ~20-operation dependency
+///   chain per access — the main reason hRP trailed MOD by ~2x).
+/// * **RM** shares one Benes network and keeps a lane-major per-segment
+///   LUT memo; a memo miss fills the entry for *all* lanes with one
+///   gate-outer/lane-inner network wave ([`BenesNetwork::permute_bits_lanes`]).
+/// * **Custom** (boxed [`PlacementPolicy`] implementations) falls back to
+///   one scalar virtual call per lane — external policies keep working,
+///   at the pre-wavefront cost.
+///
+/// Every lane's mapping is bit-identical to a scalar [`Placement`] reseeded
+/// with the same value; the batch-equivalence suites pin this.
+#[derive(Debug, Clone)]
+pub struct PlacementLanes {
+    lanes: usize,
+    backend: LaneBackend,
+}
+
+#[derive(Debug, Clone)]
+enum LaneBackend {
+    /// Seed-independent: one scalar policy serves every lane.
+    Modulo(ModuloPlacement),
+    /// Seed-independent: one scalar policy serves every lane.
+    Xor(XorPlacement),
+    HashRandom(HashRandomLanes),
+    RandomModulo(RandomModuloLanes),
+    /// Boxed trait-object policies, one clone per lane, dispatched through
+    /// the scalar path.
+    Custom(Vec<Placement>),
+}
+
+impl PlacementLanes {
+    /// Builds a lane bank for `kind` on `geometry` with `lanes` lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the geometry cannot support the policy
+    /// (currently never: all supported geometries work with all policies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(
+        kind: PlacementKind,
+        geometry: CacheGeometry,
+        lanes: usize,
+    ) -> Result<Self, ConfigError> {
+        assert!(lanes > 0, "a lane bank needs at least one lane");
+        let backend = match kind {
+            PlacementKind::Modulo => LaneBackend::Modulo(ModuloPlacement::new(geometry)),
+            PlacementKind::Xor => LaneBackend::Xor(XorPlacement::new(geometry)),
+            PlacementKind::HashRandom => {
+                LaneBackend::HashRandom(HashRandomLanes::new(geometry, lanes))
+            }
+            PlacementKind::RandomModulo => {
+                LaneBackend::RandomModulo(RandomModuloLanes::new(geometry, lanes))
+            }
+        };
+        Ok(PlacementLanes { lanes, backend })
+    }
+
+    /// Builds a lane bank from per-lane scalar policies (the fallback for
+    /// [`Placement::Custom`] and mixed configurations).  Each lane is
+    /// dispatched through its policy's scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placements` is empty or the geometries disagree.
+    pub fn from_placements(placements: Vec<Placement>) -> Self {
+        assert!(!placements.is_empty(), "a lane bank needs at least one lane");
+        let geometry = placements[0].geometry();
+        assert!(
+            placements.iter().all(|p| p.geometry() == geometry),
+            "all lanes must share one cache geometry"
+        );
+        PlacementLanes {
+            lanes: placements.len(),
+            backend: LaneBackend::Custom(placements),
+        }
+    }
+
+    /// Number of lanes in the bank.
+    pub fn lane_count(&self) -> usize {
+        self.lanes
+    }
+
+    /// The geometry this bank was built for.
+    pub fn geometry(&self) -> CacheGeometry {
+        match &self.backend {
+            LaneBackend::Modulo(p) => p.geometry(),
+            LaneBackend::Xor(p) => p.geometry(),
+            LaneBackend::HashRandom(p) => p.geometry,
+            LaneBackend::RandomModulo(p) => p.geometry,
+            LaneBackend::Custom(p) => p[0].geometry(),
+        }
+    }
+
+    /// Whether every lane maps any line to the same set (true for the
+    /// seed-independent Modulo and XOR policies).  The lane cache uses this
+    /// to pick the contiguous-row probe over the scattered probe.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self.backend, LaneBackend::Modulo(_) | LaneBackend::Xor(_))
+    }
+
+    /// Whether this bank dispatches through boxed scalar policies.
+    pub fn is_custom(&self) -> bool {
+        matches!(self.backend, LaneBackend::Custom(_))
+    }
+
+    /// Installs a new seed on lane `lane` (selects that lane's layout).
+    pub fn reseed_lane(&mut self, lane: usize, seed: u64) {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        match &mut self.backend {
+            // Deterministic policies: layout is seed-independent; record on
+            // the shared scalar policy so `seed()`-style queries stay sane.
+            LaneBackend::Modulo(p) => PlacementPolicy::reseed(p, seed),
+            LaneBackend::Xor(p) => PlacementPolicy::reseed(p, seed),
+            LaneBackend::HashRandom(p) => p.reseed_lane(lane, seed),
+            LaneBackend::RandomModulo(p) => p.reseed_lane(lane, seed),
+            LaneBackend::Custom(p) => p[lane].reseed(seed),
+        }
+    }
+
+    /// Maps `line` to the single set index shared by every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is not [`Self::is_uniform`].
+    #[inline]
+    pub fn index_uniform(&mut self, line: LineAddr) -> u32 {
+        match &self.backend {
+            LaneBackend::Modulo(p) => p.set_index_of_line(line),
+            LaneBackend::Xor(p) => p.set_index_of_line(line),
+            _ => panic!("index_uniform called on a per-lane placement bank"),
+        }
+    }
+
+    /// Maps `line` to a set index for the first `out.len()` lanes, writing
+    /// lane `i`'s index into `out[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is longer than the lane count.
+    #[inline]
+    pub fn index_lanes(&mut self, line: LineAddr, out: &mut [u32]) {
+        assert!(
+            out.len() <= self.lanes,
+            "{} indices requested from a {}-lane bank",
+            out.len(),
+            self.lanes
+        );
+        match &mut self.backend {
+            LaneBackend::Modulo(p) => out.fill(p.set_index_of_line(line)),
+            LaneBackend::Xor(p) => out.fill(p.set_index_of_line(line)),
+            LaneBackend::HashRandom(p) => p.index_lanes(line, out),
+            LaneBackend::RandomModulo(p) => p.index_lanes(line, out),
+            LaneBackend::Custom(p) => {
+                for (slot, policy) in out.iter_mut().zip(p.iter_mut()) {
+                    *slot = policy.set_index_of_line_mut(line);
+                }
+            }
+        }
+    }
+
+    /// Maps `line` to lane `lane`'s set index (the sparse path: L2 read
+    /// waves probe only the lanes that missed in L1).
+    #[inline]
+    pub fn index_lane(&mut self, lane: usize, line: LineAddr) -> u32 {
+        debug_assert!(lane < self.lanes);
+        match &mut self.backend {
+            LaneBackend::Modulo(p) => p.set_index_of_line(line),
+            LaneBackend::Xor(p) => p.set_index_of_line(line),
+            LaneBackend::HashRandom(p) => p.index_lane(lane, line),
+            LaneBackend::RandomModulo(p) => p.index_lane(lane, line),
+            LaneBackend::Custom(p) => p[lane].set_index_of_line_mut(line),
+        }
+    }
+}
+
+/// Slot count of the hRP lane-hash memo (direct-mapped on the low line
+/// address bits; must be a power of two).  Sized so a kernel's code lines
+/// plus its data working set stay memoised across trace iterations.
+const HRP_MEMO_SLOTS: usize = 1024;
+
+/// hRP across lanes: per-lane round keys in one contiguous array, plus a
+/// direct-mapped line → K-indices memo.
+///
+/// The four-round rotate/XOR hash has data-dependent rotation amounts, so
+/// it cannot SIMD-vectorize; computing it K times per access is the single
+/// most expensive stage of an hRP wave.  But every lane sees the *same*
+/// line stream and the mapping depends only on `(line, seed)`, so the bank
+/// memoises each line's K set indices in a lane-major LUT
+/// (`memo_index[slot * K + lane]`, tagged by line address): a trace that
+/// revisits its working set pays the K hashes once per line per reseed,
+/// and every revisit is one contiguous K-wide copy.  A memo miss still
+/// runs the K hash chains back-to-back, which at least overlaps their
+/// ~20-operation dependency chains in the out-of-order window.
+#[derive(Debug, Clone)]
+struct HashRandomLanes {
+    geometry: CacheGeometry,
+    round_keys: Vec<[u64; 4]>,
+    /// Line address memoised per slot (`u64::MAX` = empty; line addresses
+    /// never reach it — they lose at least the offset bits).
+    memo_tags: Vec<u64>,
+    /// Per-slot, per-lane memoised set index, lane-major.
+    memo_index: Vec<u32>,
+}
+
+/// The empty-slot sentinel of the hRP memo.
+const HRP_MEMO_EMPTY: u64 = u64::MAX;
+
+impl HashRandomLanes {
+    fn new(geometry: CacheGeometry, lanes: usize) -> Self {
+        HashRandomLanes {
+            geometry,
+            round_keys: vec![hrp_round_keys(0); lanes],
+            memo_tags: vec![HRP_MEMO_EMPTY; HRP_MEMO_SLOTS],
+            memo_index: vec![0; HRP_MEMO_SLOTS * lanes],
+        }
+    }
+
+    fn reseed_lane(&mut self, lane: usize, seed: u64) {
+        self.round_keys[lane] = hrp_round_keys(seed);
+        // The memo caches (line, seed) products: a new seed invalidates it.
+        self.memo_tags.fill(HRP_MEMO_EMPTY);
+    }
+
+    #[inline]
+    fn index_lanes(&mut self, line: LineAddr, out: &mut [u32]) {
+        let n = self.geometry.index_bits();
+        if n == 0 {
+            out.fill(0);
+            return;
+        }
+        let raw = line.raw();
+        let lanes = self.round_keys.len();
+        let slot = (raw as usize) & (HRP_MEMO_SLOTS - 1);
+        let memo = &mut self.memo_index[slot * lanes..slot * lanes + lanes];
+        if self.memo_tags[slot] != raw {
+            let mask = (self.geometry.sets() - 1) as u64;
+            for (cell, keys) in memo.iter_mut().zip(self.round_keys.iter()) {
+                *cell = hrp_fold_index(hrp_parametric_hash(*keys, raw), n, mask);
+            }
+            self.memo_tags[slot] = raw;
+        }
+        out.copy_from_slice(&memo[..out.len()]);
+    }
+
+    #[inline]
+    fn index_lane(&mut self, lane: usize, line: LineAddr) -> u32 {
+        let n = self.geometry.index_bits();
+        if n == 0 {
+            return 0;
+        }
+        let raw = line.raw();
+        let lanes = self.round_keys.len();
+        let slot = (raw as usize) & (HRP_MEMO_SLOTS - 1);
+        // A sparse miss fills the whole entry: L1 miss waves ask several
+        // lanes for the same L2 line back-to-back, so the other lanes'
+        // hashes are about to be needed anyway.
+        if self.memo_tags[slot] != raw {
+            let mask = (self.geometry.sets() - 1) as u64;
+            let memo = &mut self.memo_index[slot * lanes..slot * lanes + lanes];
+            for (cell, keys) in memo.iter_mut().zip(self.round_keys.iter()) {
+                *cell = hrp_fold_index(hrp_parametric_hash(*keys, raw), n, mask);
+            }
+            self.memo_tags[slot] = raw;
+        }
+        self.memo_index[slot * lanes + lane]
+    }
+}
+
+/// RM across lanes: one shared Benes network, per-lane seed material, and a
+/// lane-major per-segment LUT memo.
+///
+/// The memo mirrors the scalar [`SegmentLutCache`] — hashed slot placement,
+/// lazy per-entry fill — with one twist: every lane sees the *same* line
+/// stream, so slot tags and entry valid bits are shared across lanes and an
+/// entry miss fills all K lanes at once with one
+/// [`BenesNetwork::permute_bits_lanes`] wave.  `luts[(slot * sets + index) *
+/// lanes + lane]` keeps each entry's K permuted indices adjacent, so the
+/// per-access gather is one short contiguous read.
+#[derive(Debug, Clone)]
+struct RandomModuloLanes {
+    geometry: CacheGeometry,
+    network: BenesNetwork,
+    lanes: usize,
+    seed_controls: Vec<u128>,
+    seed_top_bit: Vec<u128>,
+    /// Number of direct-mapped memo slots (zero disables memoization, as in
+    /// the scalar policy).
+    slots: usize,
+    sets: usize,
+    words_per_slot: usize,
+    /// Segment id resident in each slot (`u64::MAX` = empty).
+    tags: Vec<u64>,
+    /// Per-slot, per-lane control words, refreshed on slot retag.
+    slot_controls: Vec<u128>,
+    /// Lane-major permuted indices; see the struct docs for the layout.
+    luts: Vec<u16>,
+    /// One valid bit per (slot, index) entry — an entry is valid for all
+    /// lanes or none.
+    valid: Vec<u64>,
+    /// Wave output scratch (`lanes` wide).
+    scratch: Vec<u32>,
+}
+
+impl RandomModuloLanes {
+    fn new(geometry: CacheGeometry, lanes: usize) -> Self {
+        let network = BenesNetwork::new(geometry.index_bits().max(1) as usize);
+        let sets = geometry.sets() as usize;
+        // Same slot sizing policy as the scalar SegmentLutCache: the budget
+        // is per lane, so the wavefront memo simply scales by K.
+        let slots = if geometry.sets() <= SegmentLutCache::MAX_SETS {
+            (SegmentLutCache::BUDGET_ENTRIES / sets)
+                .clamp(4, 64)
+                .next_power_of_two()
+        } else {
+            0
+        };
+        let words_per_slot = sets.div_ceil(64);
+        let mut bank = RandomModuloLanes {
+            geometry,
+            network,
+            lanes,
+            seed_controls: vec![0; lanes],
+            seed_top_bit: vec![0; lanes],
+            slots,
+            sets,
+            words_per_slot,
+            tags: vec![u64::MAX; slots],
+            slot_controls: vec![0; slots * lanes],
+            luts: vec![0; slots * sets * lanes],
+            valid: vec![0; slots * words_per_slot],
+            scratch: vec![0; lanes],
+        };
+        for lane in 0..lanes {
+            bank.reseed_lane(lane, 0);
+        }
+        bank
+    }
+
+    fn reseed_lane(&mut self, lane: usize, seed: u64) {
+        (self.seed_controls[lane], self.seed_top_bit[lane]) = rm_seed_material(seed);
+        // A new seed on any lane selects new permutations for that lane;
+        // tags and valid bits are shared, so drop every slot.
+        self.tags.fill(u64::MAX);
+        self.valid.fill(0);
+    }
+
+    /// Same Fibonacci slot hash as the scalar memo.
+    #[inline]
+    fn slot_of(&self, segment: u64) -> usize {
+        let hashed = segment.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (hashed >> (u64::BITS - self.slots.trailing_zeros())) as usize
+    }
+
+    /// Ensures the memo entry for `(segment, modulo_index)` is filled for
+    /// every lane and returns the base of its lane-major row.
+    #[inline]
+    fn fill_entry(&mut self, segment: u64, modulo_index: u32) -> usize {
+        let slot = self.slot_of(segment);
+        let control_base = slot * self.lanes;
+        if self.tags[slot] != segment {
+            // Slot swap: retag, refresh the per-lane control words, clear
+            // the valid bitmap.  Entries refill lazily on first use.
+            self.tags[slot] = segment;
+            let needed = self.network.control_bits();
+            for lane in 0..self.lanes {
+                self.slot_controls[control_base + lane] = rm_control_word(
+                    needed,
+                    self.seed_controls[lane],
+                    self.seed_top_bit[lane],
+                    segment,
+                );
+            }
+            let word_base = slot * self.words_per_slot;
+            self.valid[word_base..word_base + self.words_per_slot].fill(0);
+        }
+        let entry = slot * self.sets + modulo_index as usize;
+        let base = entry * self.lanes;
+        let word = slot * self.words_per_slot + (modulo_index as usize >> 6);
+        let bit = 1u64 << (modulo_index & 63);
+        if self.valid[word] & bit == 0 {
+            self.network.permute_bits_lanes(
+                modulo_index,
+                &self.slot_controls[control_base..control_base + self.lanes],
+                &mut self.scratch,
+            );
+            for (slot_entry, &permuted) in self.luts[base..base + self.lanes]
+                .iter_mut()
+                .zip(self.scratch.iter())
+            {
+                *slot_entry = permuted as u16;
+            }
+            self.valid[word] |= bit;
+        }
+        base
+    }
+
+    #[inline]
+    fn index_lanes(&mut self, line: LineAddr, out: &mut [u32]) {
+        let modulo_index = self.geometry.modulo_index_of_line(line);
+        let segment = self.geometry.segment_of_line(line);
+        if self.slots == 0 {
+            // Memoization disabled (giant geometry): wave-walk the network
+            // directly with per-lane control words.
+            let needed = self.network.control_bits();
+            for (lane, slot) in out.iter_mut().enumerate() {
+                let controls = rm_control_word(
+                    needed,
+                    self.seed_controls[lane],
+                    self.seed_top_bit[lane],
+                    segment,
+                );
+                *slot = self.network.permute_bits(modulo_index, controls);
+            }
+            return;
+        }
+        let base = self.fill_entry(segment, modulo_index);
+        for (slot, &permuted) in out.iter_mut().zip(self.luts[base..].iter()) {
+            *slot = permuted as u32;
+        }
+    }
+
+    #[inline]
+    fn index_lane(&mut self, lane: usize, line: LineAddr) -> u32 {
+        let modulo_index = self.geometry.modulo_index_of_line(line);
+        let segment = self.geometry.segment_of_line(line);
+        if self.slots == 0 {
+            let controls = rm_control_word(
+                self.network.control_bits(),
+                self.seed_controls[lane],
+                self.seed_top_bit[lane],
+                segment,
+            );
+            return self.network.permute_bits(modulo_index, controls);
+        }
+        let base = self.fill_entry(segment, modulo_index);
+        self.luts[base + lane] as u32
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Modulo
 // ---------------------------------------------------------------------------
 
@@ -489,6 +947,61 @@ pub struct HashRandomPlacement {
     round_keys: [u64; 4],
 }
 
+/// Derives hRP's four round keys from a placement seed.
+///
+/// Shared by the scalar policy and the lane bank so both derive exactly the
+/// same keys for the same seed.
+#[inline]
+fn hrp_round_keys(seed: u64) -> [u64; 4] {
+    let mut sm = SplitMix64::new(seed ^ 0x6852_5EED_u64);
+    let mut keys = [0u64; 4];
+    for key in &mut keys {
+        *key = sm.next_u64();
+    }
+    keys
+}
+
+/// The parametric rotate/XOR hash of hRP.
+///
+/// The hardware of Figure 2 is a layer of rotate blocks whose rotation
+/// amounts depend on address bits and the random seed, combined by a
+/// cascade of 2-input XOR gates.  This software model uses four
+/// rotate/XOR rounds with data- and seed-driven rotation amounts, which
+/// reproduces the statistical behaviour that matters for the paper's
+/// evaluation: every address is mapped (pseudo-)uniformly to the sets,
+/// and any pair of addresses — contiguous or not — collides in the same
+/// set with probability of about `1/S` per seed.
+#[inline]
+fn hrp_parametric_hash(round_keys: [u64; 4], line: u64) -> u64 {
+    let [k0, k1, k2, k3] = round_keys;
+    let mut x = line ^ k0;
+    x = x.rotate_left(((k1 as u32) ^ (x as u32)) & 63) ^ k1;
+    x ^= x >> 31;
+    x = x.rotate_left((((k2 >> 32) as u32) ^ ((x >> 7) as u32)) & 63) ^ k2;
+    x ^= x >> 27;
+    x = x.rotate_left(((k3 as u32) ^ ((x >> 13) as u32)) & 63) ^ k3;
+    x ^= x >> 33;
+    x = x.rotate_left((((k0 >> 17) as u32) ^ ((x >> 23) as u32)) & 63) ^ (k1 ^ k2);
+    x ^= x >> 29;
+    x
+}
+
+/// hRP's final XOR-folding cascade down to the index width.  The trip
+/// count depends only on the index width, not on the hash value (folding
+/// in the zero chunks above the topmost set bit is a no-op), which keeps
+/// this per-access loop branch-predictable and fixed-trip — exactly the
+/// shape the lane bank's chunked sweep relies on.
+#[inline]
+fn hrp_fold_index(hashed: u64, n: u32, mask: u64) -> u32 {
+    let mut folded = 0u64;
+    let mut shift = 0u32;
+    while shift < u64::BITS {
+        folded ^= (hashed >> shift) & mask;
+        shift += n;
+    }
+    folded as u32
+}
+
 impl HashRandomPlacement {
     /// Creates an hRP placement for the given geometry (seed 0 installed).
     pub fn new(geometry: CacheGeometry) -> Self {
@@ -501,29 +1014,10 @@ impl HashRandomPlacement {
         policy
     }
 
-    /// The parametric rotate/XOR hash.
-    ///
-    /// The hardware of Figure 2 is a layer of rotate blocks whose rotation
-    /// amounts depend on address bits and the random seed, combined by a
-    /// cascade of 2-input XOR gates.  This software model uses four
-    /// rotate/XOR rounds with data- and seed-driven rotation amounts, which
-    /// reproduces the statistical behaviour that matters for the paper's
-    /// evaluation: every address is mapped (pseudo-)uniformly to the sets,
-    /// and any pair of addresses — contiguous or not — collides in the same
-    /// set with probability of about `1/S` per seed.
+    /// The parametric rotate/XOR hash (see [`hrp_parametric_hash`]).
     #[inline]
     fn parametric_hash(&self, line: u64) -> u64 {
-        let [k0, k1, k2, k3] = self.round_keys;
-        let mut x = line ^ k0;
-        x = x.rotate_left(((k1 as u32) ^ (x as u32)) & 63) ^ k1;
-        x ^= x >> 31;
-        x = x.rotate_left((((k2 >> 32) as u32) ^ ((x >> 7) as u32)) & 63) ^ k2;
-        x ^= x >> 27;
-        x = x.rotate_left(((k3 as u32) ^ ((x >> 13) as u32)) & 63) ^ k3;
-        x ^= x >> 33;
-        x = x.rotate_left((((k0 >> 17) as u32) ^ ((x >> 23) as u32)) & 63) ^ (k1 ^ k2);
-        x ^= x >> 29;
-        x
+        hrp_parametric_hash(self.round_keys, line)
     }
 }
 
@@ -539,25 +1033,12 @@ impl PlacementPolicy for HashRandomPlacement {
         }
         let mask = (self.geometry.sets() - 1) as u64;
         let hashed = self.parametric_hash(line.raw());
-        // Final XOR-folding cascade down to the index width.  The trip
-        // count depends only on the index width, not on the hash value
-        // (folding in the zero chunks above the topmost set bit is a
-        // no-op), which keeps this per-access loop branch-predictable.
-        let mut folded = 0u64;
-        let mut shift = 0u32;
-        while shift < u64::BITS {
-            folded ^= (hashed >> shift) & mask;
-            shift += n;
-        }
-        folded as u32
+        hrp_fold_index(hashed, n, mask)
     }
 
     fn reseed(&mut self, seed: u64) {
         self.seed = seed;
-        let mut sm = SplitMix64::new(seed ^ 0x6852_5EED_u64);
-        for key in &mut self.round_keys {
-            *key = sm.next_u64();
-        }
+        self.round_keys = hrp_round_keys(seed);
     }
 
     fn seed(&self) -> u64 {
@@ -767,19 +1248,41 @@ impl RandomModuloPlacement {
     /// small changes in the upper address bits lead to different index
     /// permutations while the per-run seed decorrelates layouts across runs.
     pub fn control_word_for_segment(&self, segment: u64) -> u128 {
-        let needed = self.network.control_bits();
-        if needed == 0 {
-            return 0;
-        }
-        let mask: u128 = if needed >= 128 {
-            u128::MAX
-        } else {
-            (1u128 << needed) - 1
-        };
-        let addr_part = (segment as u128) & (mask >> 1);
-        let concatenated = addr_part | (self.seed_top_bit << (needed - 1));
-        (concatenated ^ self.seed_controls) & mask
+        rm_control_word(
+            self.network.control_bits(),
+            self.seed_controls,
+            self.seed_top_bit,
+            segment,
+        )
     }
+}
+
+/// Computes RM's Benes control word for one cache segment from the
+/// seed-derived material.  Shared by the scalar policy and the lane bank so
+/// both derive exactly the same permutations for the same seed.
+#[inline]
+fn rm_control_word(needed: usize, seed_controls: u128, seed_top_bit: u128, segment: u64) -> u128 {
+    if needed == 0 {
+        return 0;
+    }
+    let mask: u128 = if needed >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << needed) - 1
+    };
+    let addr_part = (segment as u128) & (mask >> 1);
+    let concatenated = addr_part | (seed_top_bit << (needed - 1));
+    (concatenated ^ seed_controls) & mask
+}
+
+/// Expands an RM placement seed into its 128-bit control material and the
+/// concatenated top bit, exactly as [`RandomModuloPlacement::reseed`] does.
+#[inline]
+fn rm_seed_material(seed: u64) -> (u128, u128) {
+    let mut sm = SplitMix64::new(seed);
+    let low = sm.next_u64() as u128;
+    let high = sm.next_u64() as u128;
+    ((high << 64) | low, (seed >> 63) as u128 & 1)
 }
 
 impl PlacementPolicy for RandomModuloPlacement {
@@ -798,11 +1301,7 @@ impl PlacementPolicy for RandomModuloPlacement {
         self.seed = seed;
         // Expand the seed so networks needing more than 64 control bits
         // (index widths above 11) still get full-entropy control material.
-        let mut sm = SplitMix64::new(seed);
-        let low = sm.next_u64() as u128;
-        let high = sm.next_u64() as u128;
-        self.seed_controls = (high << 64) | low;
-        self.seed_top_bit = (seed >> 63) as u128 & 1;
+        (self.seed_controls, self.seed_top_bit) = rm_seed_material(seed);
         // A new seed selects new per-segment permutations.
         self.memo.invalidate();
     }
@@ -1221,6 +1720,134 @@ mod tests {
         // The adapter still round-trips through the trait view and clones.
         let cloned = custom.clone();
         assert_eq!(cloned.as_dyn().seed(), 42);
+    }
+
+    #[test]
+    fn lane_bank_matches_scalar_placements_per_lane() {
+        // Every lane of the wavefront bank must be bit-identical to a
+        // scalar Placement reseeded with the same value — for all four
+        // policies, partial waves, and the single-lane sparse path.
+        for geometry in [CacheGeometry::leon3_l1(), CacheGeometry::leon3_l2_partition()] {
+            for kind in PlacementKind::ALL {
+                for lanes in [1usize, 3, 8] {
+                    let mut bank = PlacementLanes::new(kind, geometry, lanes).unwrap();
+                    assert_eq!(bank.lane_count(), lanes);
+                    assert_eq!(bank.geometry(), geometry);
+                    assert_eq!(bank.is_uniform(), !kind.is_randomized());
+                    let mut scalars: Vec<Placement> = (0..lanes)
+                        .map(|lane| {
+                            let mut p = Placement::new(kind, geometry).unwrap();
+                            let seed = (lane as u64) * 0x9E37_79B9 + 0xC0FFEE;
+                            p.reseed(seed);
+                            bank.reseed_lane(lane, seed);
+                            p
+                        })
+                        .collect();
+                    let mut sm = SplitMix64::new(0xABCD);
+                    let mut out = vec![0u32; lanes];
+                    for step in 0..3_000 {
+                        let line = LineAddr::new(sm.next_u64() & 0x3FF_FFFF);
+                        let active = 1 + step % lanes;
+                        bank.index_lanes(line, &mut out[..active]);
+                        for (lane, scalar) in scalars.iter_mut().take(active).enumerate() {
+                            assert_eq!(
+                                out[lane],
+                                scalar.set_index_of_line_mut(line),
+                                "{kind} lane {lane} of {lanes}"
+                            );
+                        }
+                        let lone = step % lanes;
+                        assert_eq!(
+                            bank.index_lane(lone, line),
+                            scalars[lone].set_index_of_line_mut(line),
+                            "{kind} sparse lane {lone}"
+                        );
+                        if kind.is_randomized() {
+                            assert!(!bank.is_uniform());
+                        } else {
+                            assert_eq!(bank.index_uniform(line), out[0]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_bank_reseed_matches_scalar_reseed() {
+        // Reseeding one lane mid-campaign (what every batch does) must
+        // leave the other lanes' mappings untouched and bit-identical.
+        let geometry = l1();
+        for kind in [PlacementKind::HashRandom, PlacementKind::RandomModulo] {
+            let mut bank = PlacementLanes::new(kind, geometry, 4).unwrap();
+            let mut scalars: Vec<Placement> = (0..4)
+                .map(|lane| {
+                    let mut p = Placement::new(kind, geometry).unwrap();
+                    p.reseed(lane as u64 + 7);
+                    bank.reseed_lane(lane, lane as u64 + 7);
+                    p
+                })
+                .collect();
+            let mut sm = SplitMix64::new(9);
+            for round in 0..20 {
+                let reseeded = round % 4;
+                let seed = sm.next_u64();
+                bank.reseed_lane(reseeded, seed);
+                scalars[reseeded].reseed(seed);
+                let mut out = [0u32; 4];
+                for _ in 0..200 {
+                    let line = LineAddr::new(sm.next_u64() & 0xFF_FFFF);
+                    bank.index_lanes(line, &mut out);
+                    for (lane, scalar) in scalars.iter_mut().enumerate() {
+                        assert_eq!(out[lane], scalar.set_index_of_line_mut(line), "{kind}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_lane_bank_routes_through_scalar_policies() {
+        // Placement::Custom lanes keep working through the boxed scalar
+        // path: the bank reports non-uniform custom dispatch and matches
+        // per-lane boxed references exactly.
+        let geometry = l1();
+        let placements: Vec<Placement> = (0..3)
+            .map(|lane| {
+                let mut p =
+                    Placement::from(PlacementKind::RandomModulo.build(geometry).unwrap());
+                p.reseed(lane as u64 * 31 + 5);
+                p
+            })
+            .collect();
+        let mut bank = PlacementLanes::from_placements(placements);
+        assert!(bank.is_custom());
+        assert!(!bank.is_uniform());
+        assert_eq!(bank.lane_count(), 3);
+        let mut references: Vec<Box<dyn PlacementPolicy>> = (0..3)
+            .map(|lane| {
+                let mut p = PlacementKind::RandomModulo.build(geometry).unwrap();
+                p.reseed(lane as u64 * 31 + 5);
+                p
+            })
+            .collect();
+        let mut sm = SplitMix64::new(77);
+        let mut out = [0u32; 3];
+        for _ in 0..2_000 {
+            let line = LineAddr::new(sm.next_u64() & 0xFF_FFFF);
+            bank.index_lanes(line, &mut out);
+            for (lane, reference) in references.iter_mut().enumerate() {
+                assert_eq!(out[lane], reference.set_index_of_line(line));
+                assert_eq!(bank.index_lane(lane, line), out[lane]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index_uniform called on a per-lane placement bank")]
+    fn index_uniform_panics_on_randomized_banks() {
+        let mut bank = PlacementLanes::new(PlacementKind::HashRandom, l1(), 2).unwrap();
+        bank.index_uniform(LineAddr::new(0));
     }
 
     #[test]

@@ -168,6 +168,128 @@ impl CombinedLfsr {
     }
 }
 
+/// A structure-of-arrays bank of [`CombinedLfsr`] generators, one per seed
+/// lane.
+///
+/// The lane-batched replay engine steps K independent cache hierarchies per
+/// decoded trace op.  Keeping the three Tausworthe component states in three
+/// contiguous arrays (instead of K scattered `CombinedLfsr` structs) lets a
+/// miss wave draw its next-victim words for all missing lanes in one sweep
+/// over adjacent memory, with the power-of-two fast path hoisted out of the
+/// per-lane loop.
+///
+/// Each lane's stream is bit-identical to a standalone `CombinedLfsr` seeded
+/// with the same value — the batched engine must consume random words in
+/// exactly the per-lane order the scalar engine does, and only for lanes that
+/// actually draw (a lane whose set has an invalid way never advances).
+///
+/// ```
+/// use randmod_core::prng::{CombinedLfsr, CombinedLfsrLanes};
+///
+/// let mut bank = CombinedLfsrLanes::new(4);
+/// bank.reseed_lane(2, 99);
+/// let mut scalar = CombinedLfsr::new(99);
+/// assert_eq!(bank.next_u32_lane(2), scalar.next_u32());
+/// assert_eq!(bank.next_below_lane(2, 4), scalar.next_below(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombinedLfsrLanes {
+    s1: Vec<u32>,
+    s2: Vec<u32>,
+    s3: Vec<u32>,
+}
+
+impl CombinedLfsrLanes {
+    /// Creates a bank of `lanes` generators, each seeded with its lane index.
+    ///
+    /// The engine reseeds every active lane before use; the initial states
+    /// merely have to be valid Tausworthe states.
+    pub fn new(lanes: usize) -> Self {
+        let mut bank = CombinedLfsrLanes {
+            s1: vec![0; lanes],
+            s2: vec![0; lanes],
+            s3: vec![0; lanes],
+        };
+        for lane in 0..lanes {
+            bank.reseed_lane(lane, lane as u64);
+        }
+        bank
+    }
+
+    /// Number of lanes in the bank.
+    pub fn lane_count(&self) -> usize {
+        self.s1.len()
+    }
+
+    /// Re-derives lane `lane`'s component states from `seed`, exactly as
+    /// [`CombinedLfsr::new`] does.
+    pub fn reseed_lane(&mut self, lane: usize, seed: u64) {
+        let mut sm = SplitMix64::new(seed);
+        self.s1[lane] = (sm.next_u64() as u32) | 0x20;
+        self.s2[lane] = (sm.next_u64() as u32) | 0x40;
+        self.s3[lane] = (sm.next_u64() as u32) | 0x80;
+    }
+
+    /// Advances lane `lane` by one step and returns its next 32-bit word.
+    #[inline]
+    pub fn next_u32_lane(&mut self, lane: usize) -> u32 {
+        let s1 = CombinedLfsr::taus_step(self.s1[lane], 13, 19, 12, 0xFFFF_FFFE);
+        let s2 = CombinedLfsr::taus_step(self.s2[lane], 2, 25, 4, 0xFFFF_FFF8);
+        let s3 = CombinedLfsr::taus_step(self.s3[lane], 3, 11, 17, 0xFFFF_FFF0);
+        self.s1[lane] = s1;
+        self.s2[lane] = s2;
+        self.s3[lane] = s3;
+        s1 ^ s2 ^ s3
+    }
+
+    /// Returns a uniformly distributed value in `0..bound` from lane `lane`,
+    /// bit-identical to [`CombinedLfsr::next_below`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_below_lane(&mut self, lane: usize, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be non-zero");
+        if bound.is_power_of_two() {
+            return self.next_u32_lane(lane) & (bound - 1);
+        }
+        let zone = u32::MAX - (u32::MAX % bound) - 1;
+        loop {
+            let v = self.next_u32_lane(lane);
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Draws one value in `0..bound` for each lane listed in `lanes`,
+    /// writing the draw for `lanes[i]` into `out[i]`.
+    ///
+    /// This is the miss-wave entry point: the bound check and the
+    /// power-of-two test are hoisted out of the loop, so the common case
+    /// (power-of-two associativity) is a branch-free sweep of Tausworthe
+    /// steps over adjacent lane states.  Lanes not listed do not advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero or `out` is shorter than `lanes`.
+    pub fn next_below_lanes(&mut self, bound: u32, lanes: &[u32], out: &mut [u32]) {
+        assert!(bound > 0, "bound must be non-zero");
+        assert!(out.len() >= lanes.len(), "output buffer too short");
+        if bound.is_power_of_two() {
+            let mask = bound - 1;
+            for (slot, &lane) in out.iter_mut().zip(lanes.iter()) {
+                *slot = self.next_u32_lane(lane as usize) & mask;
+            }
+        } else {
+            for (slot, &lane) in out.iter_mut().zip(lanes.iter()) {
+                *slot = self.next_below_lane(lane as usize, bound);
+            }
+        }
+    }
+}
+
 /// SplitMix64: a tiny, high-quality software generator used for seeding.
 ///
 /// ```
@@ -368,6 +490,50 @@ mod tests {
         let a: Vec<u64> = SeedSequence::new(9).take(10).collect();
         let b: Vec<u64> = SeedSequence::new(9).take(10).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lane_bank_matches_scalar_streams() {
+        // Every lane of the SoA bank must reproduce a standalone
+        // CombinedLfsr bit-for-bit, including the non-power-of-two
+        // rejection-sampling path.
+        let seeds = [0u64, 1, 0xDEAD_BEEF, u64::MAX, 42];
+        let mut bank = CombinedLfsrLanes::new(seeds.len());
+        let mut scalars: Vec<CombinedLfsr> = Vec::new();
+        for (lane, &seed) in seeds.iter().enumerate() {
+            bank.reseed_lane(lane, seed);
+            scalars.push(CombinedLfsr::new(seed));
+        }
+        for step in 0..200 {
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                match step % 3 {
+                    0 => assert_eq!(bank.next_u32_lane(lane), scalar.next_u32()),
+                    1 => assert_eq!(bank.next_below_lane(lane, 4), scalar.next_below(4)),
+                    _ => assert_eq!(bank.next_below_lane(lane, 7), scalar.next_below(7)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_bank_wave_draw_only_advances_listed_lanes() {
+        let mut bank = CombinedLfsrLanes::new(4);
+        for lane in 0..4 {
+            bank.reseed_lane(lane, lane as u64 * 17 + 3);
+        }
+        let idle = bank.clone();
+        let mut out = [0u32; 2];
+        bank.next_below_lanes(8, &[1, 3], &mut out);
+        let mut expect = idle.clone();
+        assert_eq!(out[0], expect.next_below_lane(1, 8));
+        assert_eq!(out[1], expect.next_below_lane(3, 8));
+        // Lanes 0 and 2 must not have advanced.
+        assert_eq!(bank.next_u32_lane(0), expect.next_u32_lane(0));
+        assert_eq!(bank.next_u32_lane(2), expect.next_u32_lane(2));
+        // Non-power-of-two bound routes through rejection sampling.
+        let mut odd = [0u32; 1];
+        bank.next_below_lanes(3, &[2], &mut odd);
+        assert!(odd[0] < 3);
     }
 
     #[test]

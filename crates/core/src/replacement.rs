@@ -232,9 +232,22 @@ impl ReplacementState {
     /// Random replacement draws from `rng`; the other policies ignore it.
     #[inline]
     pub fn victim(&mut self, set: u32, rng: &mut CombinedLfsr) -> u32 {
+        self.victim_with(set, |ways| rng.next_below(ways))
+    }
+
+    /// Selects the way of `set` to evict, drawing any random word from the
+    /// caller-supplied `draw` closure (called with the way count, at most
+    /// once, and only under [`ReplacementKind::Random`]).
+    ///
+    /// The lane-batched engine keeps one PRNG *bank* for all seed lanes, so
+    /// it cannot hand over a `&mut CombinedLfsr`; routing both engines
+    /// through this one implementation keeps every policy detail — including
+    /// LRU's choice among equal ranks — in exactly one place.
+    #[inline]
+    pub fn victim_with(&mut self, set: u32, draw: impl FnOnce(u32) -> u32) -> u32 {
         debug_assert!(set < self.sets);
         match self.kind {
-            ReplacementKind::Random => rng.next_below(self.ways),
+            ReplacementKind::Random => draw(self.ways),
             ReplacementKind::Lru => {
                 let base = (set * self.ways) as usize;
                 let ranks = &self.state[base..base + self.ways as usize];

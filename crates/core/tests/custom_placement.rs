@@ -5,7 +5,7 @@
 //! campaign-style results as its statically dispatched built-in
 //! equivalent.
 
-use randmod_core::cache::{AccessKind, SetAssocCache, WritePolicy};
+use randmod_core::cache::{AccessFlags, AccessKind, SetAssocCache, SetAssocCacheLanes, WritePolicy};
 use randmod_core::placement::PlacementPolicy;
 use randmod_core::prng::SplitMix64;
 use randmod_core::{
@@ -136,6 +136,78 @@ fn custom_policy_campaign_matches_its_builtin_equivalent() {
             run_campaign(&mut builtin, runs),
             "custom-placement campaign diverged under {replacement}/{write_policy:?}"
         );
+    }
+}
+
+#[test]
+fn custom_policy_lane_bank_routes_through_the_scalar_path_unchanged() {
+    // Guard for the wave engine's boxed-dyn fallback: a lane bank built
+    // from external `Placement::Custom` policies must report the custom
+    // routing (`uses_custom_placement`) and stay bit-identical to K
+    // independent scalar caches driven by the same boxed policy — flags
+    // per lane per wave, sparse single-lane accesses included.  The
+    // vectorized probe, the residency filter and the batched PRNG draws
+    // must not change observable behaviour just because placement
+    // dispatches through the scalar trait object.
+    let geometry = CacheGeometry::new(64, 4, 32).unwrap();
+    for (replacement, write_policy) in [
+        (ReplacementKind::Random, WritePolicy::WriteThrough),
+        (ReplacementKind::Random, WritePolicy::WriteBack),
+        (ReplacementKind::Lru, WritePolicy::WriteThrough),
+    ] {
+        let lanes = 5;
+        let placements: Vec<Placement> = (0..lanes)
+            .map(|_| Placement::from(ThirdPartyRm::boxed(geometry)))
+            .collect();
+        let mut bank =
+            SetAssocCacheLanes::with_placements(geometry, placements, replacement, write_policy);
+        assert!(
+            bank.uses_custom_placement(),
+            "boxed policies must take the custom per-lane routing"
+        );
+        let seeds: Vec<u64> = (0..lanes as u64).map(|i| i * 0x9E37_79B9 + 7).collect();
+        bank.reseed_wave(&seeds);
+        let mut scalars: Vec<SetAssocCache> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut cache = SetAssocCache::new(
+                    geometry,
+                    ThirdPartyRm::boxed(geometry),
+                    replacement,
+                    write_policy,
+                );
+                cache.reseed(seed);
+                cache
+            })
+            .collect();
+        let mut sm = SplitMix64::new(0x7A57E);
+        let mut flags = vec![AccessFlags::default(); lanes];
+        for step in 0..6_000u64 {
+            let addr = Address::new(sm.next_u64() & 0x3_FFFF);
+            let line = geometry.line_addr(addr);
+            let kind = match step % 5 {
+                0..=2 => AccessKind::Load,
+                3 => AccessKind::Store,
+                _ => AccessKind::InstructionFetch,
+            };
+            if step % 11 == 4 {
+                let lane = (step % lanes as u64) as usize;
+                assert_eq!(
+                    bank.access_lean_lane(lane, line, kind),
+                    scalars[lane].access_lean_line(line, kind),
+                    "custom sparse lane {lane} diverged at step {step} under {replacement}/{write_policy:?}"
+                );
+            } else {
+                bank.access_lean_lanes(line, kind, &mut flags);
+                for (lane, scalar) in scalars.iter_mut().enumerate() {
+                    assert_eq!(
+                        flags[lane],
+                        scalar.access_lean_line(line, kind),
+                        "custom lane {lane} diverged at step {step} under {replacement}/{write_policy:?}"
+                    );
+                }
+            }
+        }
     }
 }
 

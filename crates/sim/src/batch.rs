@@ -3,17 +3,22 @@
 //! An MBPTA campaign replays one immutable trace under ~1,000 placement
 //! seeds.  The sequential protocol pays the trace decode (and its memory
 //! traffic) once *per run*; [`BatchCore`] instead steps `K` independent
-//! *seed lanes* — `K` full cache hierarchies with `K` cycle counters —
-//! through every event as it is decoded, so a campaign of `N` runs streams
-//! the trace `N / K` times instead of `N`.
+//! *seed lanes* through every event as it is decoded, so a campaign of
+//! `N` runs streams the trace `N / K` times instead of `N`.  Since the
+//! wavefront rewrite the lanes are not `K` separate hierarchies but one
+//! `LaneHierarchy` (crate-private, in `crate::hierarchy`) of lane-banked caches
+//! ([`randmod_core::cache::SetAssocCacheLanes`]): each decoded operation
+//! is pushed through all `K` lanes as one probe wave over lane-major tag
+//! storage, with the per-lane placement indices, tag compares, victim
+//! draws and statistics updates evaluated in chunked cross-lane sweeps.
 //!
-//! Lanes never interact: each lane's hierarchy is reseeded with its own
-//! placement seed and observes exactly the event sequence the sequential
-//! replay would feed it, so batched results are bit-identical to running
-//! the lanes one at a time (pinned by the `batch_equivalence` proptest
-//! suite and the campaign tests).  Per-run statistics are accumulated in
-//! each lane's compact counter block and expanded to [`HierarchyStats`]
-//! once per run, instead of read-modify-writing the per-cache statistics
+//! Lanes never interact: each lane is reseeded with its own placement
+//! seed and observes exactly the event sequence the sequential replay
+//! would feed it, so batched results are bit-identical to running the
+//! lanes one at a time (pinned by the `batch_equivalence` proptest suite
+//! and the campaign tests).  Per-run statistics are accumulated in each
+//! lane's compact counter block and expanded to [`HierarchyStats`] once
+//! per run, instead of read-modify-writing the per-cache statistics
 //! structs on every event.
 //!
 //! [`crate::run::Campaign`] routes through `BatchCore` by default;
@@ -22,19 +27,10 @@
 //! `campaign_throughput` benchmark.
 
 use crate::config::PlatformConfig;
-use crate::hierarchy::{HierarchyStats, MemoryHierarchy, RunCounters};
-use crate::lanes::{replay_collapsed, LaneStepper};
+use crate::hierarchy::{HierarchyStats, LaneHierarchy, RunCounters};
+use crate::lanes::{collapse_solo, replay_collapsed, replay_ops, LaneStepper, Op};
 use crate::trace::MemEvent;
 use randmod_core::{Address, ConfigError, LineAddr};
-
-/// One seed lane: a full cache hierarchy plus its cycle counter and
-/// per-run statistics block.
-#[derive(Debug, Clone)]
-struct Lane {
-    hierarchy: MemoryHierarchy,
-    cycles: u64,
-    counters: RunCounters,
-}
 
 /// A replay engine stepping up to `K` independent placement seeds per
 /// trace decode.
@@ -64,13 +60,15 @@ struct Lane {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BatchCore {
-    lanes: Vec<Lane>,
+    hierarchy: LaneHierarchy,
+    /// Per-lane cycle counters and statistics blocks (lane capacity long;
+    /// the active prefix is in use during a batch).
+    cycles: Vec<u64>,
+    counters: Vec<RunCounters>,
     /// Offset bits of the IL1 / DL1 geometry, used to detect runs of
     /// consecutive same-line reads in the decode loop.
     il1_shift: u32,
     dl1_shift: u32,
-    /// L1 hit latency, the cost of each run-collapsed repeat read.
-    l1_hit: u64,
 }
 
 impl BatchCore {
@@ -81,22 +79,20 @@ impl BatchCore {
     ///
     /// Returns [`ConfigError`] if the configuration is invalid.
     pub fn new(config: &PlatformConfig, lanes: usize) -> Result<Self, ConfigError> {
-        let lane = Lane {
-            hierarchy: MemoryHierarchy::new(config)?,
-            cycles: 0,
-            counters: RunCounters::default(),
-        };
+        let hierarchy = LaneHierarchy::new(config, lanes)?;
+        let capacity = hierarchy.lane_count();
         Ok(BatchCore {
-            lanes: vec![lane; lanes.max(1)],
+            hierarchy,
+            cycles: vec![0; capacity],
+            counters: vec![RunCounters::default(); capacity],
             il1_shift: config.il1.geometry.offset_bits(),
             dl1_shift: config.dl1.geometry.offset_bits(),
-            l1_hit: config.latencies.l1_hit as u64,
         })
     }
 
     /// Number of seed lanes.
     pub fn lane_count(&self) -> usize {
-        self.lanes.len()
+        self.cycles.len()
     }
 
     /// Replays `events` once, simulating one run per seed in `seeds` (cold
@@ -112,85 +108,109 @@ impl BatchCore {
         I: IntoIterator<Item = MemEvent>,
     {
         assert!(
-            seeds.len() <= self.lanes.len(),
+            seeds.len() <= self.lane_count(),
             "{} seeds exceed the {} configured lanes",
             seeds.len(),
-            self.lanes.len()
+            self.lane_count()
         );
-        let active = &mut self.lanes[..seeds.len()];
-        for (lane, &seed) in active.iter_mut().zip(seeds) {
-            lane.hierarchy.reseed(seed);
-            lane.cycles = 0;
-            lane.counters = RunCounters::default();
-        }
+        let active = seeds.len();
+        self.hierarchy.reseed_wave(seeds);
+        self.cycles[..active].fill(0);
+        self.counters[..active].fill(RunCounters::default());
         // The hot loop lives in `crate::lanes::replay_collapsed`: each
         // event is decoded exactly once — with same-line read runs
-        // collapsed at decode time — before fanning out to the lanes
-        // through the stepper below.
+        // collapsed at decode time — before fanning out as one wave over
+        // all active lanes through the stepper below.
         let mut stepper = SoloLanes {
-            active,
-            l1_hit: self.l1_hit,
+            hierarchy: &mut self.hierarchy,
+            cycles: &mut self.cycles[..active],
+            counters: &mut self.counters[..active],
         };
         replay_collapsed(events, self.il1_shift, self.dl1_shift, &mut stepper);
-        active
+        self.cycles[..active]
             .iter()
-            .map(|lane| (lane.cycles, lane.counters.into_stats()))
+            .zip(&self.counters[..active])
+            .map(|(&cycles, counters)| (cycles, counters.into_stats()))
+            .collect()
+    }
+
+    /// Collapses `events` into the [`Op`] schedule [`Self::execute_batch`]
+    /// would derive on the fly, for replay via
+    /// [`Self::execute_batch_ops`].  A campaign collapses the trace once
+    /// per worker and replays the schedule for every lane group, instead
+    /// of re-decoding the packed trace `runs / K` times.
+    pub(crate) fn collapse<I>(&self, events: I) -> Vec<Op>
+    where
+        I: IntoIterator<Item = MemEvent>,
+    {
+        collapse_solo(events, self.il1_shift, self.dl1_shift)
+    }
+
+    /// [`Self::execute_batch`] over a precollapsed schedule from
+    /// [`Self::collapse`]: bit-identical results, no per-batch decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` holds more seeds than there are lanes.
+    pub(crate) fn execute_batch_ops(
+        &mut self,
+        ops: &[Op],
+        seeds: &[u64],
+    ) -> Vec<(u64, HierarchyStats)> {
+        assert!(
+            seeds.len() <= self.lane_count(),
+            "{} seeds exceed the {} configured lanes",
+            seeds.len(),
+            self.lane_count()
+        );
+        let active = seeds.len();
+        self.hierarchy.reseed_wave(seeds);
+        self.cycles[..active].fill(0);
+        self.counters[..active].fill(RunCounters::default());
+        let mut stepper = SoloLanes {
+            hierarchy: &mut self.hierarchy,
+            cycles: &mut self.cycles[..active],
+            counters: &mut self.counters[..active],
+        };
+        replay_ops(ops, &mut stepper);
+        self.cycles[..active]
+            .iter()
+            .zip(&self.counters[..active])
+            .map(|(&cycles, counters)| (cycles, counters.into_stats()))
             .collect()
     }
 }
 
-/// The solo engine's lane fan-out: every collapsed operation is applied to
-/// each active seed lane (task indices are always 0 on this path).  Each
-/// collapsed repeat is a guaranteed L1 hit booked at `l1_hit` cycles.
+/// The solo engine's lane fan-out: every collapsed operation becomes one
+/// wave through the lane-banked hierarchy (task indices are always 0 on
+/// this path).  Collapsed repeats — each a guaranteed L1 hit — are booked
+/// inside the wave helpers.
 struct SoloLanes<'a> {
-    active: &'a mut [Lane],
-    l1_hit: u64,
+    hierarchy: &'a mut LaneHierarchy,
+    cycles: &'a mut [u64],
+    counters: &'a mut [RunCounters],
 }
 
 impl LaneStepper for SoloLanes<'_> {
     #[inline]
     fn fetch(&mut self, _task: usize, addr: Address, line: LineAddr, repeats: u64) {
-        if repeats == 0 {
-            for lane in self.active.iter_mut() {
-                lane.cycles += lane.hierarchy.fetch_lean(addr, line, &mut lane.counters);
-            }
-        } else {
-            let repeat_cycles = repeats * self.l1_hit;
-            for lane in self.active.iter_mut() {
-                lane.cycles +=
-                    lane.hierarchy.fetch_lean(addr, line, &mut lane.counters) + repeat_cycles;
-                lane.counters.il1.record_read_hits(repeats);
-            }
-        }
+        self.hierarchy.fetch_wave(addr, line, repeats, self.cycles, self.counters);
     }
 
     #[inline]
     fn load(&mut self, _task: usize, addr: Address, line: LineAddr, repeats: u64) {
-        if repeats == 0 {
-            for lane in self.active.iter_mut() {
-                lane.cycles += lane.hierarchy.load_lean(addr, line, &mut lane.counters);
-            }
-        } else {
-            let repeat_cycles = repeats * self.l1_hit;
-            for lane in self.active.iter_mut() {
-                lane.cycles +=
-                    lane.hierarchy.load_lean(addr, line, &mut lane.counters) + repeat_cycles;
-                lane.counters.dl1.record_read_hits(repeats);
-            }
-        }
+        self.hierarchy.load_wave(addr, line, repeats, self.cycles, self.counters);
     }
 
     #[inline]
     fn store(&mut self, _task: usize, addr: Address, line: LineAddr) {
-        for lane in self.active.iter_mut() {
-            lane.cycles += lane.hierarchy.store_lean(addr, line, &mut lane.counters);
-        }
+        self.hierarchy.store_wave(addr, line, self.cycles, self.counters);
     }
 
     #[inline]
     fn compute(&mut self, _task: usize, cycles: u64) {
-        for lane in self.active.iter_mut() {
-            lane.cycles += cycles;
+        for lane in self.cycles.iter_mut() {
+            *lane += cycles;
         }
     }
 }

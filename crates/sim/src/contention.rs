@@ -51,12 +51,12 @@
 //! pins this bit-identity against `InOrderCore` and `Campaign::run_seeds`.
 
 use crate::config::PlatformConfig;
-use crate::hierarchy::{HierarchyStats, RunCounters};
+use crate::hierarchy::{read_lean_wave, store_lean_wave, HierarchyStats, RunCounters};
 use crate::lanes::{interleave_round_robin, replay_ops, LaneStepper, Op};
 use crate::trace::MemEvent;
-use randmod_core::cache::{AccessKind, SetAssocCache};
+use randmod_core::cache::{AccessKind, SetAssocCache, SetAssocCacheLanes};
 use randmod_core::prng::SplitMix64;
-use randmod_core::{Address, ConfigError, LineAddr};
+use randmod_core::{AccessFlags, Address, ConfigError, LineAddr};
 use std::fmt;
 use std::str::FromStr;
 
@@ -463,14 +463,158 @@ impl ContendedSchedule {
     }
 }
 
-/// One placement-seed lane of the batched contended engine: a full
-/// shared-L2 hierarchy plus per-task cycle counters and statistics
-/// blocks.
+/// One task's private lane-banked first-level caches.
 #[derive(Debug, Clone)]
-struct ContentionLane {
-    hierarchy: SharedL2Hierarchy,
-    cycles: Vec<u64>,
-    counters: Vec<RunCounters>,
+struct TaskL1Lanes {
+    il1: SetAssocCacheLanes,
+    dl1: SetAssocCacheLanes,
+}
+
+/// The lane-banked shared-L2 hierarchy: per-task IL1/DL1
+/// [`SetAssocCacheLanes`] pairs in front of one lane-banked shared L2,
+/// stepping up to `K` placement seeds per collapsed schedule operation —
+/// the wavefront engine behind [`BatchContentionCore`].  The seed →
+/// per-cache-seed derivation of [`Self::reseed_wave`] draws in the exact
+/// [`SharedL2Hierarchy::reseed`] order per lane, so lane `i` is
+/// bit-identical to a scalar shared-L2 hierarchy reseeded with
+/// `seeds[i]`.
+#[derive(Debug, Clone)]
+struct SharedL2LaneHierarchy {
+    latencies: crate::config::LatencyConfig,
+    tasks: Vec<TaskL1Lanes>,
+    l2: SetAssocCacheLanes,
+    /// Per-wave outcome scratch, truncated to the active lane count.
+    flags: Vec<AccessFlags>,
+    active: usize,
+}
+
+impl SharedL2LaneHierarchy {
+    fn new(config: &PlatformConfig, tasks: usize, lanes: usize) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let lanes = lanes.max(1);
+        let build = |c: &crate::config::CacheConfig| -> Result<SetAssocCacheLanes, ConfigError> {
+            SetAssocCacheLanes::with_kinds(c.geometry, c.placement, c.replacement, c.write_policy, lanes)
+        };
+        let tasks = (0..tasks.max(1))
+            .map(|_| {
+                Ok(TaskL1Lanes {
+                    il1: build(&config.il1)?,
+                    dl1: build(&config.dl1)?,
+                })
+            })
+            .collect::<Result<Vec<_>, ConfigError>>()?;
+        Ok(SharedL2LaneHierarchy {
+            latencies: config.latencies,
+            tasks,
+            l2: build(&config.l2)?,
+            flags: vec![AccessFlags::default(); lanes],
+            active: 0,
+        })
+    }
+
+    fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn lane_count(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Reseeds lanes `0..seeds.len()` and flushes every lane's contents.
+    /// Per lane, the per-cache seeds are drawn in the
+    /// [`SharedL2Hierarchy::reseed`] order: task 0's IL1, task 0's DL1,
+    /// the shared L2, then the remaining tasks' L1 pairs.
+    fn reseed_wave(&mut self, seeds: &[u64]) {
+        self.active = seeds.len();
+        let mut streams: Vec<SplitMix64> = seeds.iter().map(|&s| SplitMix64::new(s)).collect();
+        let draw = |streams: &mut [SplitMix64]| -> Vec<u64> {
+            streams.iter_mut().map(SplitMix64::next_u64).collect()
+        };
+        let (first, rest) = self.tasks.split_first_mut().expect("at least one task");
+        first.il1.reseed_wave(&draw(&mut streams));
+        first.dl1.reseed_wave(&draw(&mut streams));
+        self.l2.reseed_wave(&draw(&mut streams));
+        for task in rest {
+            task.il1.reseed_wave(&draw(&mut streams));
+            task.dl1.reseed_wave(&draw(&mut streams));
+        }
+    }
+
+    /// One instruction fetch of `task` across all active lanes (plus
+    /// `repeats` collapsed repeat fetches); see
+    /// [`crate::hierarchy::read_lean_wave`].
+    #[inline]
+    fn fetch_wave(
+        &mut self,
+        task: usize,
+        addr: Address,
+        line: LineAddr,
+        repeats: u64,
+        cycles: &mut [u64],
+        counters: &mut [RunCounters],
+    ) {
+        read_lean_wave(
+            &mut self.tasks[task].il1,
+            &mut self.l2,
+            &self.latencies,
+            addr,
+            line,
+            AccessKind::InstructionFetch,
+            repeats,
+            &mut self.flags[..self.active],
+            cycles,
+            counters,
+        );
+    }
+
+    /// One data load of `task` across all active lanes (plus `repeats`
+    /// collapsed repeat loads); see [`crate::hierarchy::read_lean_wave`].
+    #[inline]
+    fn load_wave(
+        &mut self,
+        task: usize,
+        addr: Address,
+        line: LineAddr,
+        repeats: u64,
+        cycles: &mut [u64],
+        counters: &mut [RunCounters],
+    ) {
+        read_lean_wave(
+            &mut self.tasks[task].dl1,
+            &mut self.l2,
+            &self.latencies,
+            addr,
+            line,
+            AccessKind::Load,
+            repeats,
+            &mut self.flags[..self.active],
+            cycles,
+            counters,
+        );
+    }
+
+    /// One data store of `task` across all active lanes; see
+    /// [`crate::hierarchy::store_lean_wave`].
+    #[inline]
+    fn store_wave(
+        &mut self,
+        task: usize,
+        addr: Address,
+        line: LineAddr,
+        cycles: &mut [u64],
+        counters: &mut [RunCounters],
+    ) {
+        store_lean_wave(
+            &mut self.tasks[task].dl1,
+            &mut self.l2,
+            &self.latencies,
+            addr,
+            line,
+            &mut self.flags[..self.active],
+            cycles,
+            counters,
+        );
+    }
 }
 
 /// The lane-batched contended engine: replays one precomputed
@@ -515,9 +659,11 @@ struct ContentionLane {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BatchContentionCore {
-    lanes: Vec<ContentionLane>,
-    /// L1 hit latency, the cost of each run-collapsed repeat read.
-    l1_hit: u64,
+    hierarchy: SharedL2LaneHierarchy,
+    /// Per-task, per-lane cycle counters and statistics blocks, laid out
+    /// task-major: entry `task * lane_capacity + lane`.
+    cycles: Vec<u64>,
+    counters: Vec<RunCounters>,
 }
 
 impl BatchContentionCore {
@@ -528,26 +674,23 @@ impl BatchContentionCore {
     ///
     /// Returns [`ConfigError`] if the configuration is invalid.
     pub fn new(config: &PlatformConfig, tasks: usize, lanes: usize) -> Result<Self, ConfigError> {
-        let tasks = tasks.max(1);
-        let lane = ContentionLane {
-            hierarchy: SharedL2Hierarchy::new(config, tasks)?,
-            cycles: vec![0; tasks],
-            counters: vec![RunCounters::default(); tasks],
-        };
+        let hierarchy = SharedL2LaneHierarchy::new(config, tasks, lanes)?;
+        let slots = hierarchy.task_count() * hierarchy.lane_count();
         Ok(BatchContentionCore {
-            lanes: vec![lane; lanes.max(1)],
-            l1_hit: config.latencies.l1_hit as u64,
+            hierarchy,
+            cycles: vec![0; slots],
+            counters: vec![RunCounters::default(); slots],
         })
     }
 
     /// Number of placement-seed lanes.
     pub fn lane_count(&self) -> usize {
-        self.lanes.len()
+        self.hierarchy.lane_count()
     }
 
     /// Number of tasks each lane interleaves.
     pub fn task_count(&self) -> usize {
-        self.lanes[0].hierarchy.task_count()
+        self.hierarchy.task_count()
     }
 
     /// Replays `schedule` once, simulating one contended run per seed in
@@ -566,34 +709,36 @@ impl BatchContentionCore {
         seeds: &[u64],
     ) -> Vec<Vec<(u64, HierarchyStats)>> {
         assert!(
-            seeds.len() <= self.lanes.len(),
+            seeds.len() <= self.lane_count(),
             "{} seeds exceed the {} configured lanes",
             seeds.len(),
-            self.lanes.len()
+            self.lane_count()
         );
         assert_eq!(
             schedule.task_count(),
             self.task_count(),
             "schedule interleaves a different task count than this core"
         );
-        let active = &mut self.lanes[..seeds.len()];
-        for (lane, &seed) in active.iter_mut().zip(seeds) {
-            lane.hierarchy.reseed(seed);
-            lane.cycles.fill(0);
-            lane.counters.fill(RunCounters::default());
-        }
+        let active = seeds.len();
+        let capacity = self.lane_count();
+        self.hierarchy.reseed_wave(seeds);
+        self.cycles.fill(0);
+        self.counters.fill(RunCounters::default());
         let mut stepper = ContendedLanes {
+            hierarchy: &mut self.hierarchy,
+            cycles: &mut self.cycles,
+            counters: &mut self.counters,
+            capacity,
             active,
-            l1_hit: self.l1_hit,
         };
         replay_ops(&schedule.ops, &mut stepper);
-        active
-            .iter()
+        (0..active)
             .map(|lane| {
-                lane.cycles
-                    .iter()
-                    .zip(&lane.counters)
-                    .map(|(&cycles, counters)| (cycles, counters.into_stats()))
+                (0..self.task_count())
+                    .map(|task| {
+                        let slot = task * capacity + lane;
+                        (self.cycles[slot], self.counters[slot].into_stats())
+                    })
                     .collect()
             })
             .collect()
@@ -601,65 +746,65 @@ impl BatchContentionCore {
 }
 
 /// The contended engine's lane fan-out: every collapsed operation of the
-/// shared schedule is applied to each active placement lane, booked
-/// against the issuing task's cycle counter and statistics block.  Each
-/// collapsed repeat is a guaranteed private-L1 hit booked at `l1_hit`
-/// cycles (an opponent can never evict the line a task's repeat read is
-/// about to hit).
+/// shared schedule becomes one wave through the issuing task's lane-banked
+/// L1 pair (and the shared lane-banked L2), booked against the task's
+/// per-lane cycle and statistics slices.  Collapsed repeats — each a
+/// guaranteed private-L1 hit (an opponent can never evict the line a
+/// task's repeat read is about to hit) — are booked inside the wave
+/// helpers.
 struct ContendedLanes<'a> {
-    active: &'a mut [ContentionLane],
-    l1_hit: u64,
+    hierarchy: &'a mut SharedL2LaneHierarchy,
+    /// Task-major per-lane slots (see [`BatchContentionCore`]).
+    cycles: &'a mut [u64],
+    counters: &'a mut [RunCounters],
+    capacity: usize,
+    active: usize,
 }
 
 impl LaneStepper for ContendedLanes<'_> {
     #[inline]
     fn fetch(&mut self, task: usize, addr: Address, line: LineAddr, repeats: u64) {
-        if repeats == 0 {
-            for lane in self.active.iter_mut() {
-                lane.cycles[task] +=
-                    lane.hierarchy.fetch_lean(task, addr, line, &mut lane.counters[task]);
-            }
-        } else {
-            let repeat_cycles = repeats * self.l1_hit;
-            for lane in self.active.iter_mut() {
-                lane.cycles[task] +=
-                    lane.hierarchy.fetch_lean(task, addr, line, &mut lane.counters[task])
-                        + repeat_cycles;
-                lane.counters[task].il1.record_read_hits(repeats);
-            }
-        }
+        let slots = task * self.capacity..task * self.capacity + self.active;
+        self.hierarchy.fetch_wave(
+            task,
+            addr,
+            line,
+            repeats,
+            &mut self.cycles[slots.clone()],
+            &mut self.counters[slots],
+        );
     }
 
     #[inline]
     fn load(&mut self, task: usize, addr: Address, line: LineAddr, repeats: u64) {
-        if repeats == 0 {
-            for lane in self.active.iter_mut() {
-                lane.cycles[task] +=
-                    lane.hierarchy.load_lean(task, addr, line, &mut lane.counters[task]);
-            }
-        } else {
-            let repeat_cycles = repeats * self.l1_hit;
-            for lane in self.active.iter_mut() {
-                lane.cycles[task] +=
-                    lane.hierarchy.load_lean(task, addr, line, &mut lane.counters[task])
-                        + repeat_cycles;
-                lane.counters[task].dl1.record_read_hits(repeats);
-            }
-        }
+        let slots = task * self.capacity..task * self.capacity + self.active;
+        self.hierarchy.load_wave(
+            task,
+            addr,
+            line,
+            repeats,
+            &mut self.cycles[slots.clone()],
+            &mut self.counters[slots],
+        );
     }
 
     #[inline]
     fn store(&mut self, task: usize, addr: Address, line: LineAddr) {
-        for lane in self.active.iter_mut() {
-            lane.cycles[task] +=
-                lane.hierarchy.store_lean(task, addr, line, &mut lane.counters[task]);
-        }
+        let slots = task * self.capacity..task * self.capacity + self.active;
+        self.hierarchy.store_wave(
+            task,
+            addr,
+            line,
+            &mut self.cycles[slots.clone()],
+            &mut self.counters[slots],
+        );
     }
 
     #[inline]
     fn compute(&mut self, task: usize, cycles: u64) {
-        for lane in self.active.iter_mut() {
-            lane.cycles[task] += cycles;
+        let slots = task * self.capacity..task * self.capacity + self.active;
+        for lane in &mut self.cycles[slots] {
+            *lane += cycles;
         }
     }
 }

@@ -13,9 +13,9 @@
 //! A seed change re-randomises every cache's placement and flushes all
 //! contents, as the real design does.
 
-use crate::config::PlatformConfig;
+use crate::config::{LatencyConfig, PlatformConfig};
 use crate::trace::MemEvent;
-use randmod_core::cache::{AccessKind, SetAssocCache};
+use randmod_core::cache::{AccessKind, SetAssocCache, SetAssocCacheLanes};
 use randmod_core::prng::SplitMix64;
 use randmod_core::{AccessFlags, Address, CacheStats, ConfigError, LineAddr};
 use std::fmt;
@@ -192,6 +192,250 @@ pub(crate) fn store_lean(
     latencies.store as u64
 }
 
+/// The wavefront counterpart of [`read_lean`]: one decoded read is pushed
+/// through all active placement lanes of the fronting L1 in one
+/// [`SetAssocCacheLanes::access_lean_lanes`] sweep, then the lanes that
+/// missed fill from the L2 — as a second full wave when every lane missed
+/// (the common cold-stream case), or lane by lane through the sparse
+/// [`SetAssocCacheLanes::access_lean_lane`] path otherwise.  Per-lane
+/// booking (level counters, memory accesses, latency) is bit-identical to
+/// running [`read_lean`] once per lane, and the `repeats` collapsed
+/// same-line re-reads are folded in here so both engines book them in one
+/// place.
+///
+/// `flags`, `cycles` and `counters` are the caller's per-lane slices, all
+/// of the same length (the active lane count of both cache banks).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn read_lean_wave(
+    l1: &mut SetAssocCacheLanes,
+    l2: &mut SetAssocCacheLanes,
+    latencies: &LatencyConfig,
+    addr: Address,
+    l1_line: LineAddr,
+    kind: AccessKind,
+    repeats: u64,
+    flags: &mut [AccessFlags],
+    cycles: &mut [u64],
+    counters: &mut [RunCounters],
+) {
+    l1.access_lean_lanes(l1_line, kind, flags);
+    let l1_hit = latencies.l1_hit as u64;
+    let repeat_cycles = repeats * l1_hit;
+    let mut misses = 0usize;
+    for (flags, counters) in flags.iter().zip(counters.iter_mut()) {
+        let level = match kind {
+            AccessKind::InstructionFetch => &mut counters.il1,
+            _ => &mut counters.dl1,
+        };
+        level.record(*flags, false);
+        if repeats != 0 {
+            level.record_read_hits(repeats);
+        }
+        misses += flags.is_miss() as usize;
+    }
+    if misses == 0 {
+        for cycles in cycles.iter_mut() {
+            *cycles += l1_hit + repeat_cycles;
+        }
+        return;
+    }
+    let l2_line = LineAddr::new(addr.raw() >> l2.geometry().offset_bits());
+    let l2_hit = l1_hit + latencies.l2_hit as u64;
+    let memory = l2_hit + latencies.memory as u64;
+    if misses == flags.len() {
+        // Every lane missed: refill as one L2 wave (the L1 outcomes are no
+        // longer needed, so the flags scratch is reused for the L2 sweep).
+        l2.access_lean_lanes(l2_line, kind, flags);
+        for lane in 0..flags.len() {
+            let l2_flags = flags[lane];
+            counters[lane].l2.record(l2_flags, false);
+            counters[lane].memory_accesses += l2_flags.is_miss() as u64;
+            cycles[lane] += if l2_flags.is_hit() { l2_hit } else { memory } + repeat_cycles;
+        }
+    } else {
+        for lane in 0..flags.len() {
+            if flags[lane].is_hit() {
+                cycles[lane] += l1_hit + repeat_cycles;
+            } else {
+                let l2_flags = l2.access_lean_lane(lane, l2_line, kind);
+                counters[lane].l2.record(l2_flags, false);
+                counters[lane].memory_accesses += l2_flags.is_miss() as u64;
+                cycles[lane] += if l2_flags.is_hit() { l2_hit } else { memory } + repeat_cycles;
+            }
+        }
+    }
+}
+
+/// The wavefront counterpart of [`store_lean`]: the write-through DL1 and
+/// the L2 are each updated in one full-lane sweep (the scalar path
+/// forwards *every* store to the L2, so the L2 wave needs no miss
+/// filtering), with per-lane booking bit-identical to running
+/// [`store_lean`] once per lane.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn store_lean_wave(
+    dl1: &mut SetAssocCacheLanes,
+    l2: &mut SetAssocCacheLanes,
+    latencies: &LatencyConfig,
+    addr: Address,
+    dl1_line: LineAddr,
+    flags: &mut [AccessFlags],
+    cycles: &mut [u64],
+    counters: &mut [RunCounters],
+) {
+    dl1.access_lean_lanes(dl1_line, AccessKind::Store, flags);
+    for (flags, counters) in flags.iter().zip(counters.iter_mut()) {
+        counters.dl1.record(*flags, true);
+    }
+    let l2_line = LineAddr::new(addr.raw() >> l2.geometry().offset_bits());
+    l2.access_lean_lanes(l2_line, AccessKind::Store, flags);
+    let store = latencies.store as u64;
+    for lane in 0..flags.len() {
+        let l2_flags = flags[lane];
+        counters[lane].l2.record(l2_flags, true);
+        counters[lane].memory_accesses += l2_flags.is_miss() as u64;
+        cycles[lane] += store;
+    }
+}
+
+/// The lane-banked solo hierarchy: one IL1/DL1/L2 triple of
+/// [`SetAssocCacheLanes`] banks stepping up to `K` placement seeds per
+/// decoded event — the wavefront engine behind
+/// [`crate::batch::BatchCore`].  Reseeding derives each lane's three
+/// per-cache seeds exactly as [`MemoryHierarchy::reseed`] does, so lane
+/// `i` of a wave is bit-identical to a scalar hierarchy reseeded with
+/// `seeds[i]`.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneHierarchy {
+    latencies: LatencyConfig,
+    il1: SetAssocCacheLanes,
+    dl1: SetAssocCacheLanes,
+    l2: SetAssocCacheLanes,
+    /// Per-wave outcome scratch, truncated to the active lane count.
+    flags: Vec<AccessFlags>,
+    active: usize,
+}
+
+impl LaneHierarchy {
+    /// Builds a lane-banked hierarchy with capacity for `lanes` placement
+    /// seeds (clamped to at least one) on the given platform.
+    pub(crate) fn new(config: &PlatformConfig, lanes: usize) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let lanes = lanes.max(1);
+        let build = |c: &crate::config::CacheConfig| -> Result<SetAssocCacheLanes, ConfigError> {
+            SetAssocCacheLanes::with_kinds(c.geometry, c.placement, c.replacement, c.write_policy, lanes)
+        };
+        Ok(LaneHierarchy {
+            latencies: config.latencies,
+            il1: build(&config.il1)?,
+            dl1: build(&config.dl1)?,
+            l2: build(&config.l2)?,
+            flags: vec![AccessFlags::default(); lanes],
+            active: 0,
+        })
+    }
+
+    /// Lane capacity K.
+    pub(crate) fn lane_count(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Reseeds lanes `0..seeds.len()` and flushes every lane's contents,
+    /// deriving each lane's IL1 / DL1 / L2 seeds in the scalar
+    /// [`MemoryHierarchy::reseed`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is longer than the lane capacity.
+    pub(crate) fn reseed_wave(&mut self, seeds: &[u64]) {
+        self.active = seeds.len();
+        let mut il1 = Vec::with_capacity(seeds.len());
+        let mut dl1 = Vec::with_capacity(seeds.len());
+        let mut l2 = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let mut sm = SplitMix64::new(seed);
+            il1.push(sm.next_u64());
+            dl1.push(sm.next_u64());
+            l2.push(sm.next_u64());
+        }
+        self.il1.reseed_wave(&il1);
+        self.dl1.reseed_wave(&dl1);
+        self.l2.reseed_wave(&l2);
+    }
+
+    /// One instruction fetch (plus `repeats` collapsed same-line repeat
+    /// fetches) across all active lanes; see [`read_lean_wave`].
+    #[inline]
+    pub(crate) fn fetch_wave(
+        &mut self,
+        addr: Address,
+        line: LineAddr,
+        repeats: u64,
+        cycles: &mut [u64],
+        counters: &mut [RunCounters],
+    ) {
+        read_lean_wave(
+            &mut self.il1,
+            &mut self.l2,
+            &self.latencies,
+            addr,
+            line,
+            AccessKind::InstructionFetch,
+            repeats,
+            &mut self.flags[..self.active],
+            cycles,
+            counters,
+        );
+    }
+
+    /// One data load (plus `repeats` collapsed same-line repeat loads)
+    /// across all active lanes; see [`read_lean_wave`].
+    #[inline]
+    pub(crate) fn load_wave(
+        &mut self,
+        addr: Address,
+        line: LineAddr,
+        repeats: u64,
+        cycles: &mut [u64],
+        counters: &mut [RunCounters],
+    ) {
+        read_lean_wave(
+            &mut self.dl1,
+            &mut self.l2,
+            &self.latencies,
+            addr,
+            line,
+            AccessKind::Load,
+            repeats,
+            &mut self.flags[..self.active],
+            cycles,
+            counters,
+        );
+    }
+
+    /// One data store across all active lanes; see [`store_lean_wave`].
+    #[inline]
+    pub(crate) fn store_wave(
+        &mut self,
+        addr: Address,
+        line: LineAddr,
+        cycles: &mut [u64],
+        counters: &mut [RunCounters],
+    ) {
+        store_lean_wave(
+            &mut self.dl1,
+            &mut self.l2,
+            &self.latencies,
+            addr,
+            line,
+            &mut self.flags[..self.active],
+            cycles,
+            counters,
+        );
+    }
+}
+
 impl fmt::Display for HierarchyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -318,61 +562,6 @@ impl MemoryHierarchy {
                 lat.store as u64
             }
         }
-    }
-
-    /// Lean instruction fetch for batched replay: statistics go to the
-    /// lane's counter block instead of the caches, otherwise identical to
-    /// [`Self::access`] with [`MemEvent::InstrFetch`].  `line` is the IL1
-    /// line of `addr`, computed once by the decode driver and shared
-    /// across every lane.
-    #[inline]
-    pub(crate) fn fetch_lean(
-        &mut self,
-        addr: Address,
-        line: LineAddr,
-        counters: &mut RunCounters,
-    ) -> u64 {
-        read_lean(
-            &mut self.il1,
-            &mut self.l2,
-            &self.config.latencies,
-            addr,
-            line,
-            AccessKind::InstructionFetch,
-            counters,
-        )
-    }
-
-    /// Lean data load for batched replay (see [`Self::fetch_lean`]);
-    /// `line` is the DL1 line of `addr`.
-    #[inline]
-    pub(crate) fn load_lean(
-        &mut self,
-        addr: Address,
-        line: LineAddr,
-        counters: &mut RunCounters,
-    ) -> u64 {
-        read_lean(
-            &mut self.dl1,
-            &mut self.l2,
-            &self.config.latencies,
-            addr,
-            line,
-            AccessKind::Load,
-            counters,
-        )
-    }
-
-    /// Lean data store for batched replay (see [`Self::fetch_lean`]);
-    /// `line` is the DL1 line of `addr`.
-    #[inline]
-    pub(crate) fn store_lean(
-        &mut self,
-        addr: Address,
-        line: LineAddr,
-        counters: &mut RunCounters,
-    ) -> u64 {
-        store_lean(&mut self.dl1, &mut self.l2, &self.config.latencies, addr, line, counters)
     }
 
     /// Serves an L1 load/fetch miss from the L2 (or memory) and returns the

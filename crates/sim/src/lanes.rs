@@ -259,6 +259,17 @@ where
     ops
 }
 
+/// Collapses one solo event stream into the [`Op`] schedule that
+/// [`replay_collapsed`] would drive, so a campaign can decode the trace
+/// once per worker and replay the schedule across every lane group
+/// (single-task interleaving degenerates to plain run collapsing).
+pub(crate) fn collapse_solo<I>(events: I, il1_shift: u32, dl1_shift: u32) -> Vec<Op>
+where
+    I: IntoIterator<Item = MemEvent>,
+{
+    interleave_round_robin(vec![events.into_iter()], 1, il1_shift, dl1_shift)
+}
+
 /// Replays a precomputed collapsed schedule through `stepper` — the
 /// contended counterpart of [`replay_collapsed`], amortising the
 /// decode + interleave across every placement-seed lane group of a

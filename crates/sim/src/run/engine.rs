@@ -146,9 +146,12 @@ impl Campaign {
         let lanes = self.lanes;
         let runs = scoped_chunks(seeds, self.threads, |chunk| {
             let mut core = BatchCore::new(&config, lanes.min(chunk.len()))?;
+            // Decode and run-collapse the trace once per worker; every
+            // lane group replays the precollapsed schedule.
+            let ops = core.collapse(source.events());
             let mut out = Vec::with_capacity(chunk.len());
             for group in chunk.chunks(core.lane_count()) {
-                let lane_results = core.execute_batch(source.events(), group);
+                let lane_results = core.execute_batch_ops(&ops, group);
                 for (&seed, (cycles, stats)) in group.iter().zip(lane_results) {
                     out.push(RunResult { seed, cycles, stats });
                 }

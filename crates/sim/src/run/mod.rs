@@ -87,7 +87,15 @@ pub struct Campaign {
 impl Campaign {
     /// Default number of seed lanes stepped per trace decode (see
     /// [`Self::with_lanes`]).
-    pub const DEFAULT_LANES: usize = 8;
+    ///
+    /// Four lanes won the PR 7 width sweep (`CAMPAIGN_BENCH_LANES` on the
+    /// `campaign_throughput` bench): the per-wave shared costs — decode,
+    /// placement, filter lookups — are already amortised at K=4, while
+    /// the lane-major tag arrays and residency-filter tables scale
+    /// linearly with K, so wider waves grow the working set past the
+    /// host's fast cache levels and throughput *drops* (4 > 8 > 16 on
+    /// every placement kind; see EXPERIMENTS.md).
+    pub const DEFAULT_LANES: usize = 4;
 
     /// Widest lane group the lane-batched contended engine steps per
     /// schedule pass.  A solo lane is one hierarchy (~20KB for the LEON3

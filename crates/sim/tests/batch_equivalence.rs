@@ -56,6 +56,31 @@ fn more_lanes_than_runs_matches_the_sequential_path() {
 }
 
 #[test]
+fn non_multiple_lane_widths_pin_partial_final_chunks() {
+    // 13 runs at widths 3, 5 and 16: every width leaves a partial final
+    // lane group (13 = 4x3+1 = 2x5+3, and 13 < 16 never fills a group),
+    // so the wave engine's active-prefix masking — partial `active_mask`,
+    // per-wave flag slices, filter arming restricted to live lanes — is
+    // exercised at the chunk boundary for every placement kind.
+    for placement in randmod_core::PlacementKind::ALL {
+        let config = PlatformConfig::leon3().with_l1_placement(placement);
+        let reference = sequential_reference(config, 13, 0xC0DE);
+        for lanes in [3usize, 5, 16] {
+            let partial = Campaign::new(config, 13)
+                .with_campaign_seed(0xC0DE)
+                .with_threads(1)
+                .with_lanes(lanes)
+                .run(&stress_trace())
+                .unwrap();
+            assert_eq!(
+                partial, reference,
+                "partial final chunk diverged at {lanes} lanes under {placement}"
+            );
+        }
+    }
+}
+
+#[test]
 fn run_count_not_divisible_by_threads_times_lanes_matches_sequential() {
     // 23 runs across 3 threads x 4 lanes: ragged chunks and a partial
     // trailing lane group on every worker.
@@ -159,7 +184,9 @@ proptest! {
             .with_lanes(1)
             .run(&trace)
             .unwrap();
-        for (lanes, threads) in [(2usize, 1usize), (7, 1), (3, 4), (16, 2)] {
+        // 10 runs make 3, 5 and 16 the non-multiple widths (partial final
+        // lane groups); 2 and 7 add ragged thread chunks on top.
+        for (lanes, threads) in [(2usize, 1usize), (7, 1), (3, 4), (5, 2), (16, 2)] {
             let result = Campaign::new(config, runs)
                 .with_campaign_seed(campaign_seed)
                 .with_threads(threads)

@@ -91,7 +91,12 @@ proptest! {
             .with_arbitration(arbitration)
             .run_contended(&sources, &seeds)
             .unwrap();
-        for lanes in [2usize, 4, 7] {
+        // `CONTENDED_LANE_GROUP` (= 2) is the widest group the batched
+        // contended engine steps per pass: lanes == 2 is the exact
+        // boundary, 3 is clamped back down to it (one full group plus a
+        // partial single-lane pass per chunk), and 7 adds ragged thread
+        // chunks; 11 seeds make every width end on a partial final group.
+        for lanes in [Campaign::CONTENDED_LANE_GROUP, 3, 7] {
             for threads in [1usize, 3] {
                 let result = Campaign::new(config, 0)
                     .with_threads(threads)

@@ -522,6 +522,19 @@ proptest! {
             prop_assert_eq!(sequential.execute_isolated(&trace, seed), expected);
             prop_assert_eq!(batched_result, expected);
         }
+        // Non-multiple lane widths through the full campaign path (trace
+        // precollapse + partial final lane groups): with 1..6 seeds,
+        // widths 3 and 5 leave a partial trailing group in most cases.
+        for width in [3usize, 5] {
+            let swept = Campaign::new(config, 0)
+                .with_threads(1)
+                .with_lanes(width)
+                .run_seeds(&trace, &seeds)
+                .unwrap();
+            for (run, &batched_result) in swept.runs().iter().zip(&batched) {
+                prop_assert_eq!((run.cycles, run.stats), batched_result);
+            }
+        }
     }
 
     /// The naive contention reference reproduces both contended
