@@ -3,7 +3,7 @@
 use crate::{DEFAULT_CAMPAIGN_SEED, DEFAULT_RUNS, MIN_RUNS};
 
 /// Options common to all experiment binaries.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentOptions {
     /// Number of runs per benchmark (`--runs N`, clamped to at least
     /// [`MIN_RUNS`] so the statistical pipeline stays applicable).
@@ -29,6 +29,17 @@ pub struct ExperimentOptions {
     /// Adaptive run cap override (`--max-runs N`); `None` keeps
     /// [`crate::runner::DEFAULT_ADAPTIVE_MAX_RUNS`].
     pub max_runs: Option<usize>,
+    /// Shard-count override for the fixed-run campaigns (`--shards N`);
+    /// `None` runs unsharded unless `--checkpoint` implies sharding with
+    /// [`crate::runner::DEFAULT_SHARDS`].
+    pub shards: Option<usize>,
+    /// Checkpoint directory (`--checkpoint DIR`): persist completed shards
+    /// there so an interrupted campaign can be resumed.
+    pub checkpoint: Option<String>,
+    /// Resume mode (`--resume`): reuse an existing checkpoint instead of
+    /// clearing it and starting fresh.  Only meaningful with
+    /// `--checkpoint`.
+    pub resume: bool,
 }
 
 impl Default for ExperimentOptions {
@@ -42,6 +53,9 @@ impl Default for ExperimentOptions {
             adaptive: false,
             target_cv: None,
             max_runs: None,
+            shards: None,
+            checkpoint: None,
+            resume: false,
         }
     }
 }
@@ -70,6 +84,33 @@ fn numeric_value<T: std::str::FromStr>(
                 None
             }
         },
+    }
+}
+
+/// Consumes the value following a flag unless it is missing or looks like
+/// another flag (starts with `--`), in which case a warning is recorded
+/// and the cursor stays on the flag.
+fn string_value(
+    args: &[String],
+    i: &mut usize,
+    flag: &str,
+    warnings: &mut Vec<String>,
+) -> Option<String> {
+    match args.get(*i + 1) {
+        None => {
+            warnings.push(format!("{flag} expects a value but none was given; flag ignored"));
+            None
+        }
+        Some(raw) if raw.starts_with("--") => {
+            warnings.push(format!(
+                "{flag} expects a value but got the flag {raw:?}; flag ignored"
+            ));
+            None
+        }
+        Some(raw) => {
+            *i += 1;
+            Some(raw.clone())
+        }
     }
 }
 
@@ -141,6 +182,20 @@ impl ExperimentOptions {
                         }
                     }
                 }
+                "--shards" => {
+                    if let Some(value) = numeric_value(&args, &mut i, "--shards", &mut warnings) {
+                        options.shards = Some(value);
+                    }
+                }
+                "--checkpoint" => {
+                    if let Some(value) = string_value(&args, &mut i, "--checkpoint", &mut warnings)
+                    {
+                        options.checkpoint = Some(value);
+                    }
+                }
+                "--resume" => {
+                    options.resume = true;
+                }
                 "--adaptive" => {
                     options.adaptive = true;
                 }
@@ -179,6 +234,28 @@ impl ExperimentOptions {
                 ));
                 options.max_runs = Some(MIN_RUNS);
             }
+        }
+        if options.shards == Some(0) {
+            warnings.push("--shards: 0 is not a valid shard count; using the default".into());
+            options.shards = None;
+        }
+        if options.resume && options.checkpoint.is_none() {
+            warnings
+                .push("--resume has no effect without --checkpoint; flag ignored".into());
+            options.resume = false;
+        }
+        // The adaptive driver grows the campaign sequentially until the
+        // pWCET estimate converges; its run count is not a pure function of
+        // the options, so there is no fixed schedule to shard or resume.
+        if options.adaptive && (options.shards.is_some() || options.checkpoint.is_some()) {
+            warnings.push(
+                "--adaptive campaigns grow until convergence and cannot be sharded or \
+                 checkpointed; --shards/--checkpoint/--resume ignored"
+                    .into(),
+            );
+            options.shards = None;
+            options.checkpoint = None;
+            options.resume = false;
         }
         (options, warnings)
     }
@@ -228,6 +305,24 @@ impl ExperimentOptions {
     /// Returns the options with a convergence-tolerance override.
     pub fn with_target_cv(mut self, target_cv: f64) -> Self {
         self.target_cv = Some(target_cv);
+        self
+    }
+
+    /// Returns the options with a shard-count override.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Returns the options with a checkpoint directory.
+    pub fn with_checkpoint(mut self, dir: impl Into<String>) -> Self {
+        self.checkpoint = Some(dir.into());
+        self
+    }
+
+    /// Returns the options with resume mode enabled.
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
         self
     }
 }
@@ -326,7 +421,9 @@ mod tests {
 
     #[test]
     fn each_flag_warns_on_a_malformed_value() {
-        for flag in ["--runs", "--seed", "--threads", "--lanes", "--max-runs", "--target-cv"] {
+        for flag in
+            ["--runs", "--seed", "--threads", "--lanes", "--max-runs", "--target-cv", "--shards"]
+        {
             let (options, warnings) = ExperimentOptions::parse_with_warnings([flag, "bogus"]);
             assert_eq!(options, ExperimentOptions::default(), "{flag} changed the options");
             assert_eq!(warnings.len(), 1, "{flag}: {warnings:?}");
@@ -406,6 +503,84 @@ mod tests {
         let (options, warnings) = ExperimentOptions::parse_with_warnings(["--sweep", "--large"]);
         assert_eq!(options, ExperimentOptions::default());
         assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn shard_and_checkpoint_flags_are_parsed() {
+        let options =
+            ExperimentOptions::parse(["--shards", "8", "--checkpoint", "/tmp/ckpt", "--resume"]);
+        assert_eq!(options.shards, Some(8));
+        assert_eq!(options.checkpoint.as_deref(), Some("/tmp/ckpt"));
+        assert!(options.resume);
+        // Checkpoint alone is fine: the runner supplies a default shard
+        // count.
+        let options = ExperimentOptions::parse(["--checkpoint", "state"]);
+        assert_eq!(options.shards, None);
+        assert_eq!(options.checkpoint.as_deref(), Some("state"));
+        assert!(!options.resume);
+    }
+
+    #[test]
+    fn zero_shards_warn_and_fall_back_to_the_default() {
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--shards", "0"]);
+        assert_eq!(options.shards, None);
+        assert!(warnings[0].contains("--shards"), "{warnings:?}");
+    }
+
+    #[test]
+    fn checkpoint_does_not_swallow_a_following_flag() {
+        let (options, warnings) =
+            ExperimentOptions::parse_with_warnings(["--checkpoint", "--quick"]);
+        assert_eq!(options.checkpoint, None);
+        assert!(options.quick, "--quick must still be scanned");
+        assert!(warnings[0].contains("--checkpoint"), "{warnings:?}");
+
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--checkpoint"]);
+        assert_eq!(options.checkpoint, None);
+        assert!(warnings[0].contains("expects a value"), "{warnings:?}");
+    }
+
+    #[test]
+    fn resume_without_a_checkpoint_warns_and_is_ignored() {
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--resume"]);
+        assert!(!options.resume);
+        assert!(warnings[0].contains("--resume"), "{warnings:?}");
+        // Order independent: --resume before --checkpoint still sticks.
+        let (options, warnings) =
+            ExperimentOptions::parse_with_warnings(["--resume", "--checkpoint", "dir"]);
+        assert!(options.resume);
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn adaptive_mode_rejects_sharding_and_checkpointing() {
+        let (options, warnings) = ExperimentOptions::parse_with_warnings([
+            "--adaptive",
+            "--shards",
+            "4",
+            "--checkpoint",
+            "dir",
+            "--resume",
+        ]);
+        assert!(options.adaptive);
+        assert_eq!(options.shards, None);
+        assert_eq!(options.checkpoint, None);
+        assert!(!options.resume);
+        assert!(
+            warnings.iter().any(|w| w.contains("--adaptive")),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn shard_builder_helpers_set_fields() {
+        let options = ExperimentOptions::default()
+            .with_shards(6)
+            .with_checkpoint("/tmp/state")
+            .with_resume();
+        assert_eq!(options.shards, Some(6));
+        assert_eq!(options.checkpoint.as_deref(), Some("/tmp/state"));
+        assert!(options.resume);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use crate::cli::ExperimentOptions;
 use crate::runner::{self, AdaptiveSummary};
-use randmod_core::{ConfigError, PlacementKind};
+use crate::error::ExperimentError;
+use randmod_core::PlacementKind;
 use randmod_mbpta::PwcetCurve;
 use randmod_workloads::SyntheticKernel;
 
@@ -46,8 +47,9 @@ pub struct Fig1Result {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn generate(options: &ExperimentOptions) -> Result<Fig1Result, ConfigError> {
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
+pub fn generate(options: &ExperimentOptions) -> Result<Fig1Result, ExperimentError> {
     let kernel = SyntheticKernel::fits_l2();
     let measurement = runner::measure_campaign(
         &kernel,

@@ -14,7 +14,8 @@
 
 use crate::cli::ExperimentOptions;
 use crate::runner;
-use randmod_core::{ConfigError, PlacementKind};
+use crate::error::ExperimentError;
+use randmod_core::PlacementKind;
 use randmod_mbpta::HighWaterMark;
 use randmod_workloads::EembcBenchmark;
 use std::fmt;
@@ -136,11 +137,12 @@ pub fn summarize_fig4a(rows: &[Fig4aRow]) -> Fig4aSummary {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
 pub fn fig4a_row(
     benchmark: EembcBenchmark,
     options: &ExperimentOptions,
-) -> Result<Fig4aRow, ConfigError> {
+) -> Result<Fig4aRow, ExperimentError> {
     let seed = options.campaign_seed ^ (benchmark.initials().as_bytes()[1] as u64) << 8;
     let rm_sample = runner::measure_opts(&benchmark, PlacementKind::RandomModulo, options, seed)?;
     let hrp_sample = runner::measure_opts(&benchmark, PlacementKind::HashRandom, options, seed)?;
@@ -155,8 +157,9 @@ pub fn fig4a_row(
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn fig4a(options: &ExperimentOptions) -> Result<Vec<Fig4aRow>, ConfigError> {
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
+pub fn fig4a(options: &ExperimentOptions) -> Result<Vec<Fig4aRow>, ExperimentError> {
     EembcBenchmark::ALL
         .iter()
         .map(|&benchmark| fig4a_row(benchmark, options))
@@ -168,12 +171,13 @@ pub fn fig4a(options: &ExperimentOptions) -> Result<Vec<Fig4aRow>, ConfigError> 
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
 pub fn fig4b_row(
     benchmark: EembcBenchmark,
     layouts: usize,
     options: &ExperimentOptions,
-) -> Result<Fig4bRow, ConfigError> {
+) -> Result<Fig4bRow, ExperimentError> {
     let seed = options.campaign_seed ^ (benchmark.initials().as_bytes()[0] as u64) << 16;
     let rm_sample = runner::measure_opts(&benchmark, PlacementKind::RandomModulo, options, seed)?;
     let det_sample = runner::measure_deterministic_sweep(&benchmark, layouts, options.threads)?;
@@ -188,8 +192,9 @@ pub fn fig4b_row(
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn fig4b(layouts: usize, options: &ExperimentOptions) -> Result<Vec<Fig4bRow>, ConfigError> {
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
+pub fn fig4b(layouts: usize, options: &ExperimentOptions) -> Result<Vec<Fig4bRow>, ExperimentError> {
     EembcBenchmark::ALL
         .iter()
         .map(|&benchmark| fig4b_row(benchmark, layouts, options))

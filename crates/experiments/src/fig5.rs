@@ -11,7 +11,8 @@
 
 use crate::cli::ExperimentOptions;
 use crate::runner;
-use randmod_core::{ConfigError, PlacementKind};
+use crate::error::ExperimentError;
+use randmod_core::PlacementKind;
 use randmod_mbpta::{ExecutionSample, Histogram, PwcetCurve};
 use randmod_workloads::{EembcStress, SyntheticKernel, Workload};
 use std::fmt;
@@ -99,8 +100,9 @@ pub const HISTOGRAM_BINS: usize = 40;
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn compare(kernel: SyntheticKernel, options: &ExperimentOptions) -> Result<Fig5Result, ConfigError> {
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
+pub fn compare(kernel: SyntheticKernel, options: &ExperimentOptions) -> Result<Fig5Result, ExperimentError> {
     let seed = options.campaign_seed ^ kernel.footprint_bytes();
     let rm_sample = runner::measure_opts(&kernel, PlacementKind::RandomModulo, options, seed)?;
     let hrp_sample = runner::measure_opts(&kernel, PlacementKind::HashRandom, options, seed)?;
@@ -124,8 +126,9 @@ pub fn compare(kernel: SyntheticKernel, options: &ExperimentOptions) -> Result<F
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn generate(options: &ExperimentOptions) -> Result<Fig5Result, ConfigError> {
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
+pub fn generate(options: &ExperimentOptions) -> Result<Fig5Result, ExperimentError> {
     compare(SyntheticKernel::fits_l2(), options)
 }
 
@@ -133,8 +136,9 @@ pub fn generate(options: &ExperimentOptions) -> Result<Fig5Result, ConfigError> 
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn footprint_sweep(options: &ExperimentOptions) -> Result<Vec<Fig5Result>, ConfigError> {
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
+pub fn footprint_sweep(options: &ExperimentOptions) -> Result<Vec<Fig5Result>, ExperimentError> {
     SyntheticKernel::paper_variants()
         .into_iter()
         .map(|kernel| compare(kernel, options))
@@ -158,8 +162,9 @@ pub const LARGE_QUICK_TRAVERSALS: u32 = 3;
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn large_footprint_sweep(options: &ExperimentOptions) -> Result<Vec<Fig5Result>, ConfigError> {
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
+pub fn large_footprint_sweep(options: &ExperimentOptions) -> Result<Vec<Fig5Result>, ExperimentError> {
     SyntheticKernel::large_variants()
         .into_iter()
         .map(|kernel| {
@@ -207,8 +212,9 @@ impl fmt::Display for StressComparison {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn l2_stress(options: &ExperimentOptions) -> Result<StressComparison, ConfigError> {
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
+pub fn l2_stress(options: &ExperimentOptions) -> Result<StressComparison, ExperimentError> {
     let stress = EembcStress::l2_sized();
     let seed = options.campaign_seed ^ stress.data_bytes();
     let rm_sample = runner::measure_opts(&stress, PlacementKind::RandomModulo, options, seed)?;

@@ -16,7 +16,8 @@
 use crate::cli::ExperimentOptions;
 use crate::fig4::CUTOFF_PROBABILITY;
 use crate::runner::{self, AdaptiveSummary};
-use randmod_core::{ConfigError, PlacementKind};
+use crate::error::ExperimentError;
+use randmod_core::PlacementKind;
 use randmod_workloads::{CoSchedule, SyntheticKernel};
 use std::fmt;
 
@@ -67,8 +68,9 @@ pub fn victim() -> SyntheticKernel {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn generate(options: &ExperimentOptions) -> Result<Vec<Fig6Row>, ConfigError> {
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
+pub fn generate(options: &ExperimentOptions) -> Result<Vec<Fig6Row>, ExperimentError> {
     let mut rows = Vec::new();
     for l2_placement in PlacementKind::ALL {
         let mut idle_pwcet = f64::NAN;

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod error;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;

@@ -7,13 +7,18 @@
 //! whole `Vec<Trace>` family.
 
 use crate::cli::ExperimentOptions;
+use crate::error::ExperimentError;
 use crate::MIN_RUNS;
 use randmod_core::{ConfigError, PlacementKind};
 use randmod_mbpta::{
     ConvergenceCriterion, ExecutionSample, MbptaAnalysis, MbptaConfig, MbptaReport,
 };
+use randmod_sim::checkpoint::{CheckpointError, CheckpointStore};
 use randmod_sim::trace::EventSource;
-use randmod_sim::{AdaptiveResult, Campaign, ContendedAdaptiveResult, PlatformConfig};
+use randmod_sim::{
+    AdaptiveResult, Campaign, ContendedAdaptiveResult, FileCheckpointStore, PlatformConfig,
+    ShardedReport,
+};
 use randmod_workloads::{CoSchedule, LayoutSweep, MemoryLayout, Workload};
 
 /// The experimental platform of Section 4.3: the chosen placement policy in
@@ -159,6 +164,112 @@ pub fn measure_opts(
     )
 }
 
+/// Default shard count when `--checkpoint` asks for a resumable campaign
+/// without an explicit `--shards`: enough shards that an interruption
+/// loses at most a few percent of a long campaign, few enough that the
+/// per-shard checkpoint rewrite stays negligible.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Environment variable of the fault-injection smoke test: when set to
+/// `N` (≥ 1), the process dies on the spot — no unwinding, no cleanup,
+/// exactly as `kill -9` would — immediately after the `N`-th shard
+/// checkpoint has persisted.
+pub const KILL_AFTER_SHARD_ENV: &str = "RANDMOD_KILL_AFTER_SHARD";
+
+/// The shard count the options imply: an explicit `--shards`, or
+/// [`DEFAULT_SHARDS`] when `--checkpoint` requests a resumable campaign,
+/// or `None` for the classic unsharded path (bit-identical either way —
+/// that is the shard protocol's defining property).
+pub fn sharding(options: &ExperimentOptions) -> Option<usize> {
+    match (options.shards, options.checkpoint.as_deref()) {
+        (Some(shards), _) => Some(shards),
+        (None, Some(_)) => Some(DEFAULT_SHARDS),
+        (None, None) => None,
+    }
+}
+
+/// Opens the checkpoint store of a campaign: the file
+/// `ckpt_<fingerprint>.bin` inside `dir` (the directory is created if
+/// missing; the fingerprint in the name keeps concurrent experiments in
+/// one directory from colliding).  Without `resume`, any existing file is
+/// removed first so a re-run starts fresh instead of replaying stale
+/// shards.
+fn open_checkpoint_store(
+    dir: &str,
+    fingerprint: u64,
+    resume: bool,
+) -> Result<FileCheckpointStore, ExperimentError> {
+    std::fs::create_dir_all(dir).map_err(|source| ExperimentError::Io {
+        path: dir.to_string(),
+        source,
+    })?;
+    let path = std::path::Path::new(dir).join(format!("ckpt_{fingerprint:016x}.bin"));
+    let mut store = FileCheckpointStore::new(path);
+    if !resume {
+        store.clear()?;
+    }
+    Ok(store)
+}
+
+/// A store wrapper honouring [`KILL_AFTER_SHARD_ENV`] for the CI
+/// fault-injection smoke test.
+struct KillStore {
+    inner: FileCheckpointStore,
+    saves: usize,
+    kill_after: usize,
+}
+
+impl CheckpointStore for KillStore {
+    fn load(&mut self) -> Result<Option<Vec<u8>>, CheckpointError> {
+        self.inner.load()
+    }
+
+    fn save(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        self.inner.save(bytes)?;
+        self.saves += 1;
+        if self.saves >= self.kill_after {
+            eprintln!(
+                "{KILL_AFTER_SHARD_ENV}: simulated crash after {} shard checkpoint(s)",
+                self.saves
+            );
+            std::process::abort();
+        }
+        Ok(())
+    }
+
+    fn location(&self) -> String {
+        self.inner.location()
+    }
+}
+
+/// Boxes the store, arming the [`KILL_AFTER_SHARD_ENV`] crash hook when
+/// the environment requests it.
+fn with_kill_hook(store: FileCheckpointStore) -> Box<dyn CheckpointStore> {
+    match std::env::var(KILL_AFTER_SHARD_ENV)
+        .ok()
+        .and_then(|value| value.parse::<usize>().ok())
+    {
+        Some(kill_after) if kill_after > 0 => Box::new(KillStore {
+            inner: store,
+            saves: 0,
+            kill_after,
+        }),
+        _ => Box::new(store),
+    }
+}
+
+/// Reports checkpoint diagnostics and resume progress on **stderr**, so
+/// the CSV on stdout stays byte-identical to an uninterrupted run.
+fn report_checkpoint_progress<R>(report: &ShardedReport<R>, location: &str) {
+    for diagnostic in &report.diagnostics {
+        eprintln!("checkpoint warning: {diagnostic}");
+    }
+    eprintln!(
+        "checkpoint {location}: resumed {} shard(s), executed {} of {}",
+        report.resumed, report.executed, report.shard_count
+    );
+}
+
 /// Default run cap of adaptive campaigns (double the paper's fixed 1,000
 /// runs, so a slow-to-stabilise scenario is detected rather than silently
 /// under-sampled).
@@ -238,24 +349,52 @@ pub struct Measurement {
     pub adaptive: Option<AdaptiveSummary>,
 }
 
-/// [`measure_opts`] that honours `options.adaptive`: a fixed-run campaign
-/// by default, or the convergence-driven protocol (whose collected runs
-/// are a bit-identical prefix of the fixed schedule) under `--adaptive`.
+/// [`measure_opts`] that honours `options.adaptive`, `options.shards` and
+/// `options.checkpoint`: a fixed-run campaign by default, the
+/// convergence-driven protocol (whose collected runs are a bit-identical
+/// prefix of the fixed schedule) under `--adaptive`, or the sharded —
+/// optionally checkpointed and resumable — protocol (bit-identical to the
+/// unsharded campaign) under `--shards`/`--checkpoint`.
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
+/// Returns [`ExperimentError`] if the platform configuration is invalid,
+/// the checkpoint directory cannot be created, or the checkpoint store
+/// fails or belongs to a different campaign.
 pub fn measure_campaign(
     workload: &dyn Workload,
     l1_placement: PlacementKind,
     options: &ExperimentOptions,
     campaign_seed: u64,
-) -> Result<Measurement, ConfigError> {
+) -> Result<Measurement, ExperimentError> {
     if !options.adaptive {
-        return Ok(Measurement {
-            sample: measure_opts(workload, l1_placement, options, campaign_seed)?,
-            adaptive: None,
-        });
+        let sample = match sharding(options) {
+            None => measure_opts(workload, l1_placement, options, campaign_seed)?,
+            Some(shards) => {
+                let trace = workload.packed_trace(&MemoryLayout::default());
+                let campaign = campaign(
+                    platform_with_l1(l1_placement),
+                    options.runs,
+                    campaign_seed,
+                    options.threads,
+                    options.lanes,
+                );
+                let result = match options.checkpoint.as_deref() {
+                    None => campaign.run_sharded(&trace, shards)?,
+                    Some(dir) => {
+                        let fingerprint = campaign.default_sharded_fingerprint(&trace, shards);
+                        let mut store =
+                            with_kill_hook(open_checkpoint_store(dir, fingerprint, options.resume)?);
+                        let report =
+                            campaign.run_sharded_checkpointed(&trace, shards, store.as_mut())?;
+                        report_checkpoint_progress(&report, &store.location());
+                        report.result
+                    }
+                };
+                ExecutionSample::from_cycles_iter(result.cycles_iter())
+            }
+        };
+        return Ok(Measurement { sample, adaptive: None });
     }
     let trace = workload.packed_trace(&MemoryLayout::default());
     let criterion = convergence_criterion(options);
@@ -320,13 +459,15 @@ impl AdaptiveSummary {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
+/// Returns [`ExperimentError`] if the platform configuration is invalid,
+/// the checkpoint directory cannot be created, or the checkpoint store
+/// fails or belongs to a different campaign.
 pub fn measure_contended<W: Workload>(
     schedule: &CoSchedule<W>,
     l2_placement: PlacementKind,
     options: &ExperimentOptions,
     campaign_seed: u64,
-) -> Result<ContendedMeasurement, ConfigError> {
+) -> Result<ContendedMeasurement, ExperimentError> {
     let sources = schedule.packed_traces(&MemoryLayout::default());
     let tasks = sources.len();
     let campaign = campaign(
@@ -341,6 +482,24 @@ pub fn measure_contended<W: Workload>(
         let adaptive = campaign.run_contended_adaptive(&sources, &criterion)?;
         let summary = AdaptiveSummary::from_contended(&adaptive);
         (adaptive.result().clone(), Some(summary))
+    } else if let Some(shards) = sharding(options) {
+        let result = match options.checkpoint.as_deref() {
+            None => campaign.run_contended_sharded_campaign(&sources, shards)?,
+            Some(dir) => {
+                let fingerprint = campaign.contended_sharded_fingerprint(
+                    &sources,
+                    &campaign.seed_schedule(),
+                    shards,
+                );
+                let mut store =
+                    with_kill_hook(open_checkpoint_store(dir, fingerprint, options.resume)?);
+                let report =
+                    campaign.run_contended_sharded_checkpointed(&sources, shards, store.as_mut())?;
+                report_checkpoint_progress(&report, &store.location());
+                report.result
+            }
+        };
+        (result, None)
     } else {
         (campaign.run_contended_campaign(&sources)?, None)
     };
@@ -504,6 +663,124 @@ mod tests {
         )
         .unwrap();
         assert_eq!(adaptive.per_task, fixed.per_task);
+    }
+
+    #[test]
+    fn sharding_follows_the_options() {
+        let options = crate::cli::ExperimentOptions::default();
+        assert_eq!(sharding(&options), None);
+        assert_eq!(sharding(&options.clone().with_shards(6)), Some(6));
+        assert_eq!(
+            sharding(&options.clone().with_checkpoint("/tmp/x")),
+            Some(DEFAULT_SHARDS)
+        );
+        assert_eq!(
+            sharding(&options.with_shards(3).with_checkpoint("/tmp/x")),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn sharded_measurement_is_bit_identical_to_the_unsharded_one() {
+        let kernel = SyntheticKernel::with_traversals(4 * 1024, 2);
+        let options = crate::cli::ExperimentOptions::default().with_runs(12);
+        let reference =
+            measure_campaign(&kernel, PlacementKind::RandomModulo, &options, 5).unwrap();
+        for shards in [1, 3, 5] {
+            let sharded = measure_campaign(
+                &kernel,
+                PlacementKind::RandomModulo,
+                &options.clone().with_shards(shards),
+                5,
+            )
+            .unwrap();
+            assert_eq!(sharded, reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn checkpointed_measurement_round_trips_through_the_store() {
+        let kernel = SyntheticKernel::with_traversals(4 * 1024, 2);
+        let dir = std::env::temp_dir().join(format!(
+            "randmod-runner-ckpt-test-{}",
+            std::process::id()
+        ));
+        let dir_str = dir.to_str().unwrap().to_string();
+        let options = crate::cli::ExperimentOptions::default()
+            .with_runs(12)
+            .with_shards(4)
+            .with_checkpoint(dir_str.clone());
+        let reference = measure_campaign(
+            &kernel,
+            PlacementKind::RandomModulo,
+            &crate::cli::ExperimentOptions::default().with_runs(12),
+            7,
+        )
+        .unwrap();
+        // Fresh run populates the store and matches the unsharded result.
+        let fresh = measure_campaign(&kernel, PlacementKind::RandomModulo, &options, 7).unwrap();
+        assert_eq!(fresh, reference);
+        // Resume replays every shard from the store — still bit-identical.
+        let resumed = measure_campaign(
+            &kernel,
+            PlacementKind::RandomModulo,
+            &options.clone().with_resume(),
+            7,
+        )
+        .unwrap();
+        assert_eq!(resumed, reference);
+        // The contended driver shares the store plumbing.
+        let schedule = CoSchedule::pressure_level(kernel, 1);
+        let contended_options = crate::cli::ExperimentOptions::default()
+            .with_runs(10)
+            .with_shards(3)
+            .with_checkpoint(dir_str);
+        let contended_ref = measure_contended(
+            &schedule,
+            PlacementKind::HashRandom,
+            &crate::cli::ExperimentOptions::default().with_runs(10),
+            7,
+        )
+        .unwrap();
+        let contended = measure_contended(
+            &schedule,
+            PlacementKind::HashRandom,
+            &contended_options,
+            7,
+        )
+        .unwrap();
+        assert_eq!(contended, contended_ref);
+        let contended_resumed = measure_contended(
+            &schedule,
+            PlacementKind::HashRandom,
+            &contended_options.with_resume(),
+            7,
+        )
+        .unwrap();
+        assert_eq!(contended_resumed, contended_ref);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn an_uncreatable_checkpoint_directory_is_a_contextual_error() {
+        let kernel = SyntheticKernel::with_traversals(4 * 1024, 2);
+        // A path under a regular *file* cannot be created as a directory.
+        let blocker = std::env::temp_dir().join(format!(
+            "randmod-runner-blocker-{}",
+            std::process::id()
+        ));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let dir = blocker.join("nested");
+        let options = crate::cli::ExperimentOptions::default()
+            .with_runs(12)
+            .with_checkpoint(dir.to_str().unwrap());
+        let err = measure_campaign(&kernel, PlacementKind::RandomModulo, &options, 7).unwrap_err();
+        assert!(
+            matches!(err, ExperimentError::Io { .. }),
+            "expected an Io error, got {err}"
+        );
+        assert!(err.to_string().contains("nested"), "{err}");
+        std::fs::remove_file(&blocker).unwrap();
     }
 
     #[test]

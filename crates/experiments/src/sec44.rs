@@ -8,7 +8,8 @@
 
 use crate::cli::ExperimentOptions;
 use crate::runner;
-use randmod_core::{ConfigError, PlacementKind, ReplacementKind};
+use crate::error::ExperimentError;
+use randmod_core::{PlacementKind, ReplacementKind};
 use randmod_sim::PlatformConfig;
 use randmod_workloads::{EembcBenchmark, MemoryLayout, Workload};
 use std::fmt;
@@ -74,11 +75,12 @@ pub fn summarize(rows: &[AvgPerformanceRow]) -> AvgPerformanceSummary {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
 pub fn row_for(
     benchmark: EembcBenchmark,
     options: &ExperimentOptions,
-) -> Result<AvgPerformanceRow, ConfigError> {
+) -> Result<AvgPerformanceRow, ExperimentError> {
     let rm_measurement = runner::measure_campaign(
         &benchmark,
         PlacementKind::RandomModulo,
@@ -108,8 +110,9 @@ pub fn row_for(
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn generate(options: &ExperimentOptions) -> Result<Vec<AvgPerformanceRow>, ConfigError> {
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
+pub fn generate(options: &ExperimentOptions) -> Result<Vec<AvgPerformanceRow>, ExperimentError> {
     EembcBenchmark::ALL
         .iter()
         .map(|&benchmark| row_for(benchmark, options))

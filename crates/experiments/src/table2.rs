@@ -10,7 +10,8 @@
 
 use crate::cli::ExperimentOptions;
 use crate::runner;
-use randmod_core::{ConfigError, PlacementKind};
+use crate::error::ExperimentError;
+use randmod_core::PlacementKind;
 use randmod_workloads::EembcBenchmark;
 use std::fmt;
 
@@ -54,8 +55,9 @@ impl fmt::Display for Table2Row {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
-pub fn generate(options: &ExperimentOptions) -> Result<Vec<Table2Row>, ConfigError> {
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
+pub fn generate(options: &ExperimentOptions) -> Result<Vec<Table2Row>, ExperimentError> {
     EembcBenchmark::ALL
         .iter()
         .map(|&benchmark| row_for(benchmark, options))
@@ -66,11 +68,12 @@ pub fn generate(options: &ExperimentOptions) -> Result<Vec<Table2Row>, ConfigErr
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the platform configuration is invalid.
+/// Returns [`ExperimentError`] if the platform configuration is invalid
+/// or a checkpointed measurement fails.
 pub fn row_for(
     benchmark: EembcBenchmark,
     options: &ExperimentOptions,
-) -> Result<Table2Row, ConfigError> {
+) -> Result<Table2Row, ExperimentError> {
     let measurement = runner::measure_campaign(
         &benchmark,
         PlacementKind::RandomModulo,

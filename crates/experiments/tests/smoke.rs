@@ -269,6 +269,84 @@ fn fig6_contention_adaptive_quick() {
 }
 
 #[test]
+fn sharded_kill_and_resume_reproduces_the_uninterrupted_output() {
+    // The crash-safety acceptance path, end to end through a real binary:
+    // golden run → sharded run (byte-identical stdout) → `kill -9`-style
+    // crash mid-campaign (nonzero exit, no CSV) → resume (byte-identical
+    // stdout again, with the resumed shards reported on stderr).
+    let golden = run(env!("CARGO_BIN_EXE_fig1_pwcet_curve"), &["--quick"]);
+    let dir = std::env::temp_dir().join(format!("randmod-smoke-ckpt-{}", std::process::id()));
+    let dir_str = dir.to_str().unwrap().to_string();
+    let shard_args = ["--quick", "--shards", "4", "--checkpoint", dir_str.as_str()];
+
+    // Sharding alone must not change a single output byte.
+    let sharded = run(env!("CARGO_BIN_EXE_fig1_pwcet_curve"), &shard_args);
+    assert_eq!(sharded, golden, "sharding changed the experiment output");
+
+    // Crash immediately after the second shard checkpoint persists.
+    let crashed = Command::new(env!("CARGO_BIN_EXE_fig1_pwcet_curve"))
+        .args(shard_args)
+        .env("RANDMOD_KILL_AFTER_SHARD", "2")
+        .output()
+        .expect("failed to spawn fig1_pwcet_curve");
+    assert!(
+        !crashed.status.success(),
+        "the crash hook did not fire:\n{}",
+        String::from_utf8_lossy(&crashed.stderr)
+    );
+
+    // Resume completes the remaining shards and reproduces the golden
+    // output bit for bit.
+    let resumed = Command::new(env!("CARGO_BIN_EXE_fig1_pwcet_curve"))
+        .args(["--quick", "--shards", "4", "--checkpoint", &dir_str, "--resume"])
+        .output()
+        .expect("failed to spawn fig1_pwcet_curve");
+    assert!(
+        resumed.status.success(),
+        "resume failed:\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout),
+        golden,
+        "resumed run diverged from the uninterrupted output"
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("resumed 2 shard(s)"),
+        "resume progress missing from stderr:\n{stderr}"
+    );
+
+    // A different campaign (different seed) fingerprints to a *different*
+    // checkpoint file in the same directory, so resuming there can never
+    // replay the old campaign's shards: it starts fresh instead.
+    let mismatched = Command::new(env!("CARGO_BIN_EXE_fig1_pwcet_curve"))
+        .args([
+            "--quick",
+            "--shards",
+            "4",
+            "--checkpoint",
+            &dir_str,
+            "--resume",
+            "--seed",
+            "99",
+        ])
+        .output()
+        .expect("failed to spawn fig1_pwcet_curve");
+    assert!(
+        mismatched.status.success(),
+        "a different seed names a different checkpoint file and must start fresh:\n{}",
+        String::from_utf8_lossy(&mismatched.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&mismatched.stderr).contains("resumed 0 shard(s)"),
+        "a different campaign must not resume the old campaign's shards:\n{}",
+        String::from_utf8_lossy(&mismatched.stderr)
+    );
+    std::fs::remove_dir_all(&dir).expect("failed to clean up the checkpoint directory");
+}
+
+#[test]
 fn quick_runs_override_is_clamped_not_fatal() {
     // `--runs 1` used to panic deep in the ET test; it must now clamp to
     // the pipeline minimum and complete.

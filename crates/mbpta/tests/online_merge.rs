@@ -1,0 +1,145 @@
+//! Edge-case coverage for `OnlineSample::merge` — the statistical half of
+//! the shard-merge story.
+//!
+//! Sharded campaigns accumulate per-shard `OnlineSample`s and merge them
+//! into the campaign summary, so merge must behave at the shard-protocol
+//! corners: empty shards are identities, single-element shards merge like
+//! pushes, and *any* shard-tree shape over the same observations yields
+//! the same moments.  Count, min and max are integer-exact under every
+//! shape; mean and M2 use Chan's parallel update, which is not exactly
+//! float-associative, so those compare to tight relative tolerance.
+
+use proptest::prelude::*;
+use randmod_mbpta::OnlineSample;
+
+/// Relative tolerance for the float moments across merge-tree shapes.
+const REL_TOL: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= REL_TOL * scale
+}
+
+fn sample_of(values: &[u64]) -> OnlineSample {
+    let mut s = OnlineSample::new();
+    for &v in values {
+        s.push(v);
+    }
+    s
+}
+
+/// Asserts the integer fields exactly and the float moments approximately.
+fn assert_equivalent(a: &OnlineSample, b: &OnlineSample) {
+    assert_eq!(a.count(), b.count());
+    assert_eq!(a.min(), b.min());
+    assert_eq!(a.max(), b.max());
+    assert!(
+        close(a.mean(), b.mean()),
+        "means diverged: {} vs {}",
+        a.mean(),
+        b.mean()
+    );
+    assert!(
+        close(a.variance(), b.variance()),
+        "variances diverged: {} vs {}",
+        a.variance(),
+        b.variance()
+    );
+}
+
+#[test]
+fn empty_shard_is_a_two_sided_identity() {
+    let empty = OnlineSample::new();
+    let sample = sample_of(&[10, 20, 30, 40]);
+    // Empty on either side returns the other operand bit-for-bit.
+    assert_eq!(sample.merge(&empty), sample);
+    assert_eq!(empty.merge(&sample), sample);
+    // Empty-with-empty stays empty and its accessors stay well-defined.
+    let both = empty.merge(&empty);
+    assert_eq!(both.count(), 0);
+    assert_eq!(both.mean(), 0.0);
+    assert_eq!(both.variance(), 0.0);
+    assert_eq!(both.min(), 0);
+    assert_eq!(both.max(), 0);
+}
+
+#[test]
+fn single_element_shards_merge_like_pushes() {
+    // Building a sample one singleton shard at a time must match the
+    // streaming accumulator exactly at the integer fields and to
+    // tolerance at the moments.
+    let values = [100u64, 250, 99, 250, 1_000_000, 3];
+    let streamed = sample_of(&values);
+    let mut merged = OnlineSample::new();
+    for &v in &values {
+        merged = merged.merge(&sample_of(&[v]));
+    }
+    assert_eq!(merged.count(), streamed.count());
+    assert_eq!(merged.min(), streamed.min());
+    assert_eq!(merged.max(), streamed.max());
+    assert!(close(merged.mean(), streamed.mean()));
+    assert!(close(merged.variance(), streamed.variance()));
+    // A lone singleton also round-trips: variance of one observation is 0.
+    let one = sample_of(&[42]);
+    assert_eq!(one.merge(&OnlineSample::new()).variance(), 0.0);
+    assert_eq!(one.min(), 42);
+    assert_eq!(one.max(), 42);
+}
+
+/// Recursively merges `values` split at the given pivot fractions (in
+/// per-mille), producing an arbitrary-shape merge tree over contiguous
+/// shards.
+fn merge_tree(values: &[u64], pivots: &[usize]) -> OnlineSample {
+    if values.len() <= 1 || pivots.is_empty() {
+        return sample_of(values);
+    }
+    let (frac, rest) = pivots.split_first().unwrap();
+    let cut = (values.len() - 1) * (frac % 1000) / 1000 + 1;
+    let half = rest.len() / 2;
+    merge_tree(&values[..cut], &rest[..half]).merge(&merge_tree(&values[cut..], &rest[half..]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merge-order invariance: any shard-tree shape over the same
+    /// observations yields the same count/min/max exactly and the same
+    /// mean/variance to tight relative tolerance.
+    #[test]
+    fn any_merge_tree_shape_yields_the_same_moments(
+        values in prop::collection::vec(0u64..2_000_000_000, 1..120),
+        pivots in prop::collection::vec(0usize..1000, 0..12),
+    ) {
+        let streamed = sample_of(&values);
+        let treed = merge_tree(&values, &pivots);
+        assert_equivalent(&streamed, &treed);
+    }
+
+    /// The two-shard split in particular — the exact shape the sharded
+    /// campaign drivers produce (left-fold over contiguous shards) — is
+    /// equivalent to streaming for every cut point, including the
+    /// degenerate all-left and all-right cuts.
+    #[test]
+    fn every_contiguous_cut_matches_streaming(
+        values in prop::collection::vec(0u64..u64::MAX / 2, 2..60),
+    ) {
+        let streamed = sample_of(&values);
+        for cut in 0..=values.len() {
+            let merged = sample_of(&values[..cut]).merge(&sample_of(&values[cut..]));
+            assert_equivalent(&streamed, &merged);
+        }
+    }
+
+    /// Merge is symmetric on the integer fields and tolerance-symmetric
+    /// on the moments (Chan's update treats the operands asymmetrically,
+    /// so this is worth pinning separately).
+    #[test]
+    fn merge_is_commutative_to_tolerance(
+        left in prop::collection::vec(0u64..1_000_000, 0..40),
+        right in prop::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let a = sample_of(&left).merge(&sample_of(&right));
+        let b = sample_of(&right).merge(&sample_of(&left));
+        assert_equivalent(&a, &b);
+    }
+}

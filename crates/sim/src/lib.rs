@@ -30,8 +30,15 @@
 //! * [`run`] — measurement campaigns: run a program repeatedly with a fresh
 //!   placement seed per run (the MBPTA protocol, batched across seeds by
 //!   default), adaptively grow the campaign until the pWCET estimate
-//!   converges ([`Campaign::run_adaptive`]), or sweep memory layouts under
-//!   deterministic placement (the industrial high-water-mark protocol).
+//!   converges ([`Campaign::run_adaptive`]), sweep memory layouts under
+//!   deterministic placement (the industrial high-water-mark protocol), or
+//!   split the campaign into crash-safe resumable shards
+//!   ([`Campaign::run_sharded_checkpointed`]).
+//! * [`checkpoint`] — the versioned, checksummed, atomically-written
+//!   checkpoint container the sharded drivers persist completed shards
+//!   through, plus the injectable [`CheckpointStore`] trait and the
+//!   deterministic fault-injection harness ([`FaultPlan`] / [`FaultyStore`])
+//!   that proves the crash-safety guarantees.
 //!
 //! ## Quick example
 //!
@@ -59,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod checkpoint;
 pub mod config;
 pub mod contention;
 pub mod cpu;
@@ -69,6 +77,10 @@ pub mod run;
 pub mod trace;
 
 pub use batch::BatchCore;
+pub use checkpoint::{
+    CheckpointError, CheckpointStore, FaultPlan, FaultyStore, FileCheckpointStore,
+    MemoryCheckpointStore,
+};
 pub use config::{CacheConfig, LatencyConfig, PlatformConfig};
 pub use contention::{
     Arbitration, BatchContentionCore, ContendedSchedule, ContentionCore, SharedL2Hierarchy,
@@ -77,7 +89,7 @@ pub use cpu::InOrderCore;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy};
 pub use packed::PackedTrace;
 pub use run::{
-    AdaptiveResult, Campaign, CampaignResult, ContendedAdaptiveResult, ContendedResult,
-    ContendedRun, RunResult, TaskRun,
+    AdaptiveResult, Campaign, CampaignError, CampaignResult, ContendedAdaptiveResult,
+    ContendedResult, ContendedRun, RunResult, ShardSpec, ShardedReport, TaskRun,
 };
 pub use trace::{EventSink, EventSource, MemEvent, SinkFn, Trace, TraceStats};

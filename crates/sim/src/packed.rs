@@ -21,9 +21,11 @@
 //! a shift and a 4-way match, done on the fly by [`PackedEvents`]; no
 //! intermediate `Vec<MemEvent>` is ever materialised during replay.
 
+use crate::checkpoint::{atomic_write, fnv1a};
 use crate::trace::{EventSink, EventSource, MemEvent, Trace};
 use randmod_core::Address;
 use std::fmt;
+use std::path::Path;
 
 /// Kind tag of an instruction fetch.
 const TAG_FETCH: u64 = 0;
@@ -46,7 +48,9 @@ pub const MAX_PAYLOAD: u64 = (1 << PAYLOAD_BITS) - 1;
 ///
 /// Panics if an address exceeds [`MAX_PAYLOAD`] (2⁶² − 1); the modelled
 /// targets use 32-bit physical addresses, so this is never hit in practice.
-fn encode(event: MemEvent) -> u64 {
+/// Crate-visible so the sharded campaign drivers can fingerprint a trace
+/// by its packed words without materialising a [`PackedTrace`].
+pub(crate) fn encode(event: MemEvent) -> u64 {
     let (payload, tag) = match event {
         MemEvent::InstrFetch(a) => (a.raw(), TAG_FETCH),
         MemEvent::Load(a) => (a.raw(), TAG_LOAD),
@@ -196,6 +200,151 @@ impl fmt::Display for PackedTrace {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checksummed file round-trip
+// ---------------------------------------------------------------------------
+
+/// Magic + version prefix of a packed-trace file (bump the digit when the
+/// word encoding changes).
+pub const TRACE_FILE_MAGIC: &[u8; 8] = b"RMTRACE1";
+
+/// Error produced while reading or writing a packed-trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// The filesystem operation itself failed.
+    Io {
+        /// Path the operation targeted.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file's bytes fail validation: wrong magic/version, a length
+    /// that disagrees with the header, or a checksum mismatch (truncation
+    /// or bit-flips).
+    Corrupt {
+        /// What failed to validate.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io { path, source } => {
+                write!(f, "trace file {path}: {source}")
+            }
+            TraceFileError::Corrupt { detail } => {
+                write!(f, "trace file corrupt: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io { source, .. } => Some(source),
+            TraceFileError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl PackedTrace {
+    /// Serializes the trace into its self-validating file format: magic +
+    /// version, event count, the packed words, and a trailing FNV-1a
+    /// checksum over everything before it.  [`Self::from_bytes`] rejects
+    /// any truncation or bit-flip of the result.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(24 + self.words.len() * 8);
+        bytes.extend_from_slice(TRACE_FILE_MAGIC);
+        bytes.extend_from_slice(&(self.words.len() as u64).to_le_bytes());
+        for &word in &self.words {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        let checksum = fnv1a(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
+    /// Deserializes a trace written by [`Self::to_bytes`], validating the
+    /// magic, the declared event count against the byte length, and the
+    /// trailing checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError::Corrupt`] naming the first check that
+    /// failed; a damaged file is never partially decoded.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceFileError> {
+        let corrupt = |detail: String| TraceFileError::Corrupt { detail };
+        if bytes.len() < 24 {
+            return Err(corrupt(format!(
+                "{} bytes is shorter than the 24-byte minimum (magic + count + checksum)",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != TRACE_FILE_MAGIC {
+            return Err(corrupt(format!(
+                "bad magic {:02x?} (expected {TRACE_FILE_MAGIC:02x?}) — not a packed-trace \
+                 file, or an unsupported version",
+                &bytes[..8]
+            )));
+        }
+        let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+        let body_len = bytes.len() - 8;
+        let expected_words = (body_len - 16) / 8;
+        if body_len < 16 || (body_len - 16) % 8 != 0 || count != expected_words as u64 {
+            return Err(corrupt(format!(
+                "header declares {count} events but the file holds {} payload bytes \
+                 (truncated or padded)",
+                body_len.saturating_sub(16)
+            )));
+        }
+        let stored = u64::from_le_bytes(bytes[body_len..].try_into().expect("8-byte slice"));
+        let computed = fnv1a(&bytes[..body_len]);
+        if stored != computed {
+            return Err(corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x} \
+                 (truncated or bit-flipped)"
+            )));
+        }
+        let words = bytes[16..body_len]
+            .chunks_exact(8)
+            .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+            .collect();
+        Ok(PackedTrace { words })
+    }
+
+    /// Writes the trace to `path` atomically (temp file + rename) in the
+    /// checksummed [`Self::to_bytes`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError::Io`] when the filesystem fails.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), TraceFileError> {
+        let path = path.as_ref();
+        atomic_write(path, &self.to_bytes()).map_err(|source| TraceFileError::Io {
+            path: path.display().to_string(),
+            source,
+        })
+    }
+
+    /// Reads a trace written by [`Self::write_file`], rejecting truncated
+    /// or bit-flipped files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError::Io`] when the file cannot be read and
+    /// [`TraceFileError::Corrupt`] when its contents fail validation.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|source| TraceFileError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        PackedTrace::from_bytes(&bytes)
+    }
+}
+
 /// Decoding iterator over a [`PackedTrace`].
 #[derive(Debug, Clone)]
 pub struct PackedEvents<'a> {
@@ -316,6 +465,67 @@ mod tests {
         boxed.compute(5);
         boxed.compute(0);
         assert_eq!(packed.to_trace(), boxed);
+    }
+
+    #[test]
+    fn byte_round_trip_is_identity() {
+        let packed: PackedTrace = sample_events().into_iter().collect();
+        let bytes = packed.to_bytes();
+        assert_eq!(&bytes[..8], TRACE_FILE_MAGIC);
+        assert_eq!(PackedTrace::from_bytes(&bytes).unwrap(), packed);
+        // The empty trace round-trips too.
+        let empty = PackedTrace::new();
+        assert_eq!(PackedTrace::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected() {
+        let bytes = PackedTrace::from_iter(sample_events()).to_bytes();
+        for len in [0, 10, bytes.len() - 8, bytes.len() - 1] {
+            let err = PackedTrace::from_bytes(&bytes[..len]).unwrap_err();
+            assert!(matches!(err, TraceFileError::Corrupt { .. }), "{len}: {err}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected_everywhere() {
+        let bytes = PackedTrace::from_iter(sample_events()).to_bytes();
+        for byte in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 0x10;
+            assert!(
+                PackedTrace::from_bytes(&flipped).is_err(),
+                "flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_reported_as_such() {
+        let mut bytes = PackedTrace::from_iter(sample_events()).to_bytes();
+        bytes[7] = b'9';
+        let err = PackedTrace::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let path = std::env::temp_dir()
+            .join(format!("randmod-trace-test-{}.bin", std::process::id()));
+        let packed: PackedTrace = sample_events().into_iter().collect();
+        packed.write_file(&path).unwrap();
+        assert_eq!(PackedTrace::read_file(&path).unwrap(), packed);
+        // A truncated file on disk is rejected with a Corrupt error.
+        let bytes = packed.to_bytes();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let err = PackedTrace::read_file(&path).unwrap_err();
+        assert!(matches!(err, TraceFileError::Corrupt { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+        // A missing file is an Io error naming the path.
+        let err = PackedTrace::read_file(&path).unwrap_err();
+        assert!(matches!(err, TraceFileError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("randmod-trace-test"), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     /// Strategy: one arbitrary event with a payload inside the packed range.

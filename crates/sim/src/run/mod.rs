@@ -41,15 +41,23 @@
 //! * [`adaptive`](self) — the convergence-driven drivers
 //!   ([`Campaign::run_adaptive`], [`Campaign::run_contended_adaptive`]),
 //!   plus [`AdaptiveResult`] / [`ContendedAdaptiveResult`].
+//! * [`shard`](self) — the crash-safe sharded drivers
+//!   ([`Campaign::run_sharded`], [`Campaign::run_sharded_checkpointed`]):
+//!   deterministic contiguous shards over the seed schedule, merged
+//!   bit-identical to the unsharded run, with checkpoint/resume through a
+//!   [`crate::checkpoint::CheckpointStore`]; plus [`ShardSpec`] /
+//!   [`ShardedReport`] / [`CampaignError`].
 
 mod adaptive;
 mod contended;
 mod engine;
 mod schedule;
+mod shard;
 
 pub use adaptive::{AdaptiveResult, ContendedAdaptiveResult};
 pub use contended::{ContendedResult, ContendedRun, TaskRun};
 pub use engine::{CampaignResult, RunResult};
+pub use shard::{CampaignError, ShardSpec, ShardedReport};
 
 use crate::config::PlatformConfig;
 use crate::contention::Arbitration;

@@ -49,10 +49,13 @@ where
 impl Campaign {
     /// The campaign's default seed schedule: the first `runs` draws of its
     /// [`SeedSequence`].  [`Campaign::run`],
-    /// [`Campaign::run_contended_campaign`] and the adaptive drivers all
-    /// consume (prefixes of) this one sequence, which is what makes their
-    /// bit-identical-prefix guarantees line up.
-    pub(super) fn seed_schedule(&self) -> Vec<u64> {
+    /// [`Campaign::run_contended_campaign`], the adaptive drivers and the
+    /// sharded/checkpointed drivers all consume (prefixes or sub-ranges
+    /// of) this one sequence, which is what makes their bit-identical
+    /// guarantees line up.  Public so external drivers (the experiment
+    /// runner's checkpoint file naming, for one) can compute the schedule
+    /// a campaign will use without running it.
+    pub fn seed_schedule(&self) -> Vec<u64> {
         SeedSequence::new(self.campaign_seed).take(self.runs).collect()
     }
 }
