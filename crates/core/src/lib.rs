@@ -54,6 +54,7 @@ pub mod benes;
 pub mod cache;
 pub mod error;
 pub mod layout;
+#[warn(clippy::unwrap_used, clippy::expect_used)]
 pub mod placement;
 pub mod prng;
 pub mod replacement;

@@ -424,6 +424,7 @@ impl PlacementLanes {
     /// Panics if `placements` is empty or the geometries disagree.
     pub fn from_placements(placements: Vec<Placement>) -> Self {
         assert!(!placements.is_empty(), "a lane bank needs at least one lane");
+        // randmod: allow(P1, non-emptiness is asserted on the previous line; panicking here is this constructor's documented contract)
         let geometry = placements[0].geometry();
         assert!(
             placements.iter().all(|p| p.geometry() == geometry),
@@ -447,6 +448,7 @@ impl PlacementLanes {
             LaneBackend::Xor(p) => p.geometry(),
             LaneBackend::HashRandom(p) => p.geometry,
             LaneBackend::RandomModulo(p) => p.geometry,
+            // randmod: allow(P1, Custom banks exist only via from_placements, which asserts at least one lane)
             LaneBackend::Custom(p) => p[0].geometry(),
         }
     }
@@ -473,6 +475,7 @@ impl PlacementLanes {
             LaneBackend::Xor(p) => PlacementPolicy::reseed(p, seed),
             LaneBackend::HashRandom(p) => p.reseed_lane(lane, seed),
             LaneBackend::RandomModulo(p) => p.reseed_lane(lane, seed),
+            // randmod: allow(P1, lane < self.lanes == p.len() is asserted at the top of this method)
             LaneBackend::Custom(p) => p[lane].reseed(seed),
         }
     }
@@ -487,6 +490,7 @@ impl PlacementLanes {
         match &self.backend {
             LaneBackend::Modulo(p) => p.set_index_of_line(line),
             LaneBackend::Xor(p) => p.set_index_of_line(line),
+            // randmod: allow(P1, the documented Panics contract: callers gate on is_uniform() before taking this path, and the guard is unit-tested)
             _ => panic!("index_uniform called on a per-lane placement bank"),
         }
     }
@@ -528,6 +532,7 @@ impl PlacementLanes {
             LaneBackend::Xor(p) => p.set_index_of_line(line),
             LaneBackend::HashRandom(p) => p.index_lane(lane, line),
             LaneBackend::RandomModulo(p) => p.index_lane(lane, line),
+            // randmod: allow(P1, the lane cache probes only lanes below lane_count() == p.len(); the debug_assert above states the bound)
             LaneBackend::Custom(p) => p[lane].set_index_of_line_mut(line),
         }
     }
@@ -576,11 +581,13 @@ impl HashRandomLanes {
     }
 
     fn reseed_lane(&mut self, lane: usize, seed: u64) {
+        // randmod: allow(P1, PlacementLanes::reseed_lane asserts lane < lane_count == round_keys.len() before dispatching here)
         self.round_keys[lane] = hrp_round_keys(seed);
         // The memo caches (line, seed) products: a new seed invalidates it.
         self.memo_tags.fill(HRP_MEMO_EMPTY);
     }
 
+    // randmod: allow(P1, memo arithmetic is in-bounds by construction: slot < HRP_MEMO_SLOTS via the power-of-two mask, memo_tags has HRP_MEMO_SLOTS entries, memo_index has HRP_MEMO_SLOTS * lanes entries so slot*lanes+lanes never overruns, and out.len() <= lanes is asserted by the PlacementLanes facade)
     #[inline]
     fn index_lanes(&mut self, line: LineAddr, out: &mut [u32]) {
         let n = self.geometry.index_bits();
@@ -602,6 +609,7 @@ impl HashRandomLanes {
         out.copy_from_slice(&memo[..out.len()]);
     }
 
+    // randmod: allow(P1, same bounds as index_lanes, plus lane < lanes guaranteed by the PlacementLanes facade (debug_assert at the dispatch site))
     #[inline]
     fn index_lane(&mut self, lane: usize, line: LineAddr) -> u32 {
         let n = self.geometry.index_bits();
@@ -697,6 +705,7 @@ impl RandomModuloLanes {
     }
 
     fn reseed_lane(&mut self, lane: usize, seed: u64) {
+        // randmod: allow(P1, PlacementLanes::reseed_lane asserts lane < lane_count before dispatching here, and the constructor sizes both seed vectors to exactly `lanes`)
         (self.seed_controls[lane], self.seed_top_bit[lane]) = rm_seed_material(seed);
         // A new seed on any lane selects new permutations for that lane;
         // tags and valid bits are shared, so drop every slot.
@@ -713,6 +722,7 @@ impl RandomModuloLanes {
 
     /// Ensures the memo entry for `(segment, modulo_index)` is filled for
     /// every lane and returns the base of its lane-major row.
+    // randmod: allow(P1, every offset is in-bounds by the constructor's sizing: slot < slots via slot_of's top-bits shift, tags/valid/slot_controls/luts hold slots, slots*words_per_slot, slots*lanes and slots*sets*lanes entries, and modulo_index < sets by geometry; the memo layout is pinned against the scalar policy by the lane-equivalence proptests)
     #[inline]
     fn fill_entry(&mut self, segment: u64, modulo_index: u32) -> usize {
         let slot = self.slot_of(segment);
@@ -754,6 +764,7 @@ impl RandomModuloLanes {
         base
     }
 
+    // randmod: allow(P1, out.len() <= lanes is asserted by the PlacementLanes facade and fill_entry returns a base with a full lane-major row behind it, so luts[base..] holds at least `lanes` entries)
     #[inline]
     fn index_lanes(&mut self, line: LineAddr, out: &mut [u32]) {
         let modulo_index = self.geometry.modulo_index_of_line(line);
@@ -779,6 +790,7 @@ impl RandomModuloLanes {
         }
     }
 
+    // randmod: allow(P1, lane < lanes is guaranteed by the PlacementLanes facade (debug_assert at the dispatch site) and base + lanes <= luts.len() by fill_entry's row layout)
     #[inline]
     fn index_lane(&mut self, lane: usize, line: LineAddr) -> u32 {
         let modulo_index = self.geometry.modulo_index_of_line(line);
@@ -1206,6 +1218,7 @@ impl RandomModuloPlacement {
     /// Bit-identical to [`PlacementPolicy::set_index_of_line`] (memo
     /// entries are pure functions of the segment and the installed seed);
     /// the `&mut self` receiver is only used to fill memo slots.
+    // randmod: allow(P1, the scalar twin of RandomModuloLanes::fill_entry: slot < slots via slot_of's top-bits shift, the memo vectors are sized slots / slots*words_per_slot / slots*sets at construction, and modulo_index < sets by geometry — bit-equivalence with the uncached path is proptested)
     #[inline]
     pub fn set_index_of_line_cached(&mut self, line: LineAddr) -> u32 {
         let modulo_index = self.geometry.modulo_index_of_line(line);

@@ -1,0 +1,123 @@
+//! `randmod-lint`: the workspace invariant checker.
+//!
+//! Everything the simulator promises — bit-identical shard merges,
+//! checkpoint fingerprints, lanes×threads invariance, adaptive-prefix
+//! identity — rests on determinism and panic-freedom invariants that unit
+//! tests can only sample.  This crate enforces them *statically*: a
+//! dependency-free Rust lexer ([`lexer`]) feeds a token-walking rule
+//! engine ([`rules`]) that knows which rule families apply to which files,
+//! understands `#[cfg(test)]` scoping, and honours reasoned waiver
+//! comments ([`waiver`]).
+//!
+//! Run it as `cargo run -p randmod-lint -- check` (human output) or
+//! `-- check --json` (CI).  The exit code is 0 when the workspace is
+//! clean, 1 when any non-waived violation exists.
+//!
+//! The rule set and the waiver policy are documented for humans in
+//! DESIGN.md ("Machine-checked invariants").
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod waiver;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use report::{Report, UnusedWaiver};
+use rules::{classify, scan_source};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = [".git", "target", "vendor", "fixtures"];
+
+/// Recursively collects the workspace's `.rs` files, sorted by relative
+/// path so every run (and every machine) reports in the same order.
+fn collect_rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Converts an absolute path under `root` to the workspace-relative,
+/// forward-slash form the rules and reports use.
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut out = String::new();
+    for component in rel.components() {
+        if !out.is_empty() {
+            out.push('/');
+        }
+        out.push_str(&component.as_os_str().to_string_lossy());
+    }
+    out
+}
+
+/// Checks every eligible source file under `root`, returning the merged
+/// report.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] when the tree cannot be read; per-file rule
+/// results never error.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_rust_files(root)? {
+        let rel = relative_path(root, &path);
+        // The linter does not lint itself: its source is necessarily full
+        // of rule names, banned identifiers and example waivers.
+        if rel.starts_with("crates/lint/") {
+            continue;
+        }
+        let Some(scope) = classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(&path)?;
+        let outcome = scan_source(&rel, &src, scope);
+        report.files_scanned += 1;
+        report.violations.extend(outcome.violations);
+        for w in outcome.waivers {
+            if w.used {
+                report.waivers_used += 1;
+            } else {
+                report.unused_waivers.push(UnusedWaiver {
+                    file: rel.clone(),
+                    line: w.line,
+                    rule: w.rule,
+                    reason: w.reason,
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    for dir in start.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(contents) = fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,96 @@
+//! Command-line entry point: `randmod-lint check [--json] [--root PATH]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use randmod_lint::rules::RuleId;
+use randmod_lint::{check_workspace, find_workspace_root};
+
+const USAGE: &str = "\
+randmod-lint: machine-enforces the workspace's determinism and panic-freedom invariants
+
+USAGE:
+    randmod-lint check [--json] [--root PATH]   check the workspace (exit 1 on violations)
+    randmod-lint rules                          print the rule table
+
+OPTIONS:
+    --json         emit the machine-readable JSON report instead of human output
+    --root PATH    workspace root (default: nearest ancestor with a [workspace] manifest)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "check" | "rules" if command.is_none() => command = Some(arg.clone()),
+            "--json" => json = true,
+            "--root" => match iter.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unrecognised argument `{other}`")),
+        }
+    }
+    match command.as_deref() {
+        Some("rules") => {
+            for rule in RuleId::ALL {
+                println!("{}  {}", rule.name(), rule.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => run_check(root, json),
+        _ => usage_error("expected a command (`check` or `rules`)"),
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn run_check(root: Option<PathBuf>, json: bool) -> ExitCode {
+    let root = match root {
+        Some(root) => root,
+        None => {
+            // Under `cargo run` the manifest dir is crates/lint; the
+            // workspace root is two levels up.  Fall back to searching
+            // upward from the current directory.
+            let start = std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(|dir| PathBuf::from(dir).join("../.."))
+                .or_else(|| std::env::current_dir().ok());
+            match start.as_deref().and_then(find_workspace_root) {
+                Some(root) => root,
+                None => {
+                    eprintln!("error: no [workspace] manifest found; pass --root");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match check_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("error: cannot scan {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Report rendering: human-readable for terminals, JSON for CI.
+//!
+//! The JSON form is hand-rolled (the crate is dependency-free) and
+//! deliberately flat so a CI step can consume it with `jq` or a ten-line
+//! script: one object per violation, a summary block, and the list of
+//! unused waivers (informational — an unused waiver does not fail the
+//! check, but it is a prompt to delete stale suppressions).
+
+use crate::rules::{RuleId, Violation};
+
+/// An honoured-but-unmatched waiver: nothing in its scope violates the
+/// rule it waives any more.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnusedWaiver {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// The waived rule.
+    pub rule: RuleId,
+    /// The waiver's stated reason.
+    pub reason: String,
+}
+
+/// The outcome of checking a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Workspace-relative paths of every file scanned, sorted.
+    pub files_scanned: usize,
+    /// All non-waived violations, ordered by (file, line).
+    pub violations: Vec<Violation>,
+    /// Number of waivers that suppressed at least one violation.
+    pub waivers_used: usize,
+    /// Well-formed waivers that suppressed nothing.
+    pub unused_waivers: Vec<UnusedWaiver>,
+}
+
+impl Report {
+    /// Does the check pass?  Unused waivers are advisory; only
+    /// violations fail.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}:{}: {} {}\n    | {}\n",
+                v.file,
+                v.line,
+                v.col,
+                v.rule.name(),
+                v.message,
+                v.snippet
+            ));
+        }
+        for w in &self.unused_waivers {
+            out.push_str(&format!(
+                "note: {}:{}: unused waiver for {} ({}) — delete it or re-justify\n",
+                w.file,
+                w.line,
+                w.rule.name(),
+                w.reason
+            ));
+        }
+        out.push_str(&format!(
+            "randmod-lint: {} violation(s), {} file(s) scanned, {} waiver(s) honoured, {} \
+             unused waiver(s)\n",
+            self.violations.len(),
+            self.files_scanned,
+            self.waivers_used,
+            self.unused_waivers.len()
+        ));
+        out
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+                 \"snippet\": {}, \"message\": {}}}",
+                json_str(v.rule.name()),
+                json_str(&v.file),
+                v.line,
+                v.col,
+                json_str(&v.snippet),
+                json_str(&v.message)
+            ));
+        }
+        out.push_str("\n  ],\n  \"unused_waivers\": [");
+        for (i, w) in self.unused_waivers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(w.rule.name()),
+                json_str(&w.file),
+                w.line,
+                json_str(&w.reason)
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"summary\": {{\"files_scanned\": {}, \"violations\": {}, \
+             \"waivers_used\": {}, \"unused_waivers\": {}, \"clean\": {}}}\n}}\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.waivers_used,
+            self.unused_waivers.len(),
+            self.is_clean()
+        ));
+        out
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("tab\there"), r#""tab\there""#);
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        let report = Report {
+            files_scanned: 2,
+            violations: vec![Violation {
+                rule: RuleId::D1,
+                file: "crates/sim/src/x.rs".to_string(),
+                line: 3,
+                col: 9,
+                snippet: "let t = SystemTime::now();".to_string(),
+                message: "banned".to_string(),
+            }],
+            waivers_used: 1,
+            unused_waivers: vec![UnusedWaiver {
+                file: "crates/sim/src/y.rs".to_string(),
+                line: 10,
+                rule: RuleId::P1,
+                reason: "stale".to_string(),
+            }],
+        };
+        let json = report.render_json();
+        assert!(json.contains(r#""rule": "D1""#), "{json}");
+        assert!(json.contains(r#""clean": false"#), "{json}");
+        assert!(json.contains(r#""waivers_used": 1"#), "{json}");
+        // Balanced braces/brackets as a cheap well-formedness proxy.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "{json}"
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The linter's own acceptance gate, as a test: the live workspace must
+//! be violation-free, so `cargo test` fails the moment a banned construct
+//! lands anywhere in the engine crates — no CI wiring required.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_has_no_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let report = randmod_lint::check_workspace(&root).expect("workspace must be readable");
+    assert!(
+        report.files_scanned > 0,
+        "the scan must actually cover the workspace"
+    );
+    assert!(
+        report.is_clean(),
+        "the workspace must stay lint-clean:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn every_waiver_in_the_live_workspace_is_used() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    let report = randmod_lint::check_workspace(&root).expect("workspace must be readable");
+    assert!(
+        report.unused_waivers.is_empty(),
+        "stale waivers must be deleted, not accumulated: {:?}",
+        report.unused_waivers
+    );
+}

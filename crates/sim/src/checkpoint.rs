@@ -265,12 +265,7 @@ pub fn encode_checkpoint(header: &CheckpointHeader, records: &[ShardRecord]) -> 
     out
 }
 
-/// Reads one little-endian `u64`, advancing the cursor.
-fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
-    let slice = bytes.get(*pos..*pos + 8)?;
-    *pos += 8;
-    Some(u64::from_le_bytes(slice.try_into().expect("8-byte slice")))
-}
+use crate::wire::read_u64;
 
 /// Parses checkpoint bytes.
 ///
@@ -300,20 +295,26 @@ pub fn decode_checkpoint(
             bytes.len()
         )));
     }
-    if &bytes[..8] != CHECKPOINT_MAGIC {
+    let magic = bytes.get(..8).unwrap_or_default();
+    if magic != CHECKPOINT_MAGIC.as_slice() {
         return Err(corrupt(format!(
-            "bad magic {:?} (expected {:?})",
-            &bytes[..8],
-            CHECKPOINT_MAGIC
+            "bad magic {magic:?} (expected {CHECKPOINT_MAGIC:?})"
         )));
     }
+    // The length was checked above, but a miscounted HEADER_LEN must
+    // surface as a Corrupt error, not a panic inside a resume path.
     let mut pos = 8;
-    let fingerprint = read_u64(bytes, &mut pos).expect("header length checked");
-    let total_runs = read_u64(bytes, &mut pos).expect("header length checked");
-    let shard_count = read_u64(bytes, &mut pos).expect("header length checked");
-    let record_count = read_u64(bytes, &mut pos).expect("header length checked");
-    let stored_header_checksum = read_u64(bytes, &mut pos).expect("header length checked");
-    if fnv1a(&bytes[..HEADER_LEN - 8]) != stored_header_checksum {
+    let mut header_words = [0u64; 5];
+    for word in &mut header_words {
+        *word =
+            read_u64(bytes, &mut pos).ok_or_else(|| corrupt("header truncated".to_string()))?;
+    }
+    let [fingerprint, total_runs, shard_count, record_count, stored_header_checksum] =
+        header_words;
+    let checksummed = bytes
+        .get(..HEADER_LEN - 8)
+        .ok_or_else(|| corrupt("header truncated".to_string()))?;
+    if fnv1a(checksummed) != stored_header_checksum {
         return Err(corrupt("header checksum mismatch".to_string()));
     }
     let header = CheckpointHeader {
@@ -327,7 +328,7 @@ pub fn decode_checkpoint(
         let start = pos;
         let framing = (|| {
             let shard_index = read_u64(bytes, &mut pos)?;
-            let payload_len = read_u64(bytes, &mut pos)? as usize;
+            let payload_len = usize::try_from(read_u64(bytes, &mut pos)?).ok()?;
             let payload = bytes.get(pos..pos.checked_add(payload_len)?)?;
             pos += payload_len;
             let stored = read_u64(bytes, &mut pos)?;
@@ -681,7 +682,7 @@ impl<S: CheckpointStore> CheckpointStore for FaultyStore<S> {
         self.inner.save(bytes)?;
         if let Some((at, keep)) = self.plan.truncate_after_save {
             if at == n {
-                let truncated: Vec<u8> = bytes[..keep.min(bytes.len())].to_vec();
+                let truncated: Vec<u8> = bytes.get(..keep).unwrap_or(bytes).to_vec();
                 self.inner.save(&truncated)?;
             }
         }
@@ -689,8 +690,10 @@ impl<S: CheckpointStore> CheckpointStore for FaultyStore<S> {
             if at == n {
                 let mut flipped = bytes.to_vec();
                 if !flipped.is_empty() {
-                    let i = byte_index % flipped.len();
-                    flipped[i] ^= 1 << (byte_index % 8);
+                    let at = byte_index % flipped.len();
+                    if let Some(byte) = flipped.get_mut(at) {
+                        *byte ^= 1 << (byte_index % 8);
+                    }
                 }
                 self.inner.save(&flipped)?;
             }

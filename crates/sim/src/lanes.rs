@@ -166,6 +166,8 @@ pub(crate) enum Op {
 /// ignored and missing streams behave as idle tasks.  A task's read run
 /// stays open across other tasks' turns (their events cannot touch its
 /// private L1) and is closed by any non-matching event of its own.
+// randmod: allow(P1, every vector in this arena — streams, pending, open — is resized to exactly `tasks` before the loop, the cursor is reduced mod `tasks` on every step so task < tasks always, ops indices come from ops.len() at push time, and the take() runs only after the inner scan stopped on a Some; the whole schedule is pinned against the scalar engine by the contended equivalence proptests)
+#[allow(clippy::expect_used)]
 pub(crate) fn interleave_round_robin<I>(
     streams: Vec<I>,
     tasks: usize,

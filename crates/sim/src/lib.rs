@@ -66,15 +66,21 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+#[warn(clippy::unwrap_used, clippy::expect_used)]
 pub mod checkpoint;
 pub mod config;
 pub mod contention;
 pub mod cpu;
 pub mod hierarchy;
+#[warn(clippy::unwrap_used, clippy::expect_used)]
 mod lanes;
+#[warn(clippy::unwrap_used, clippy::expect_used)]
 pub mod packed;
+#[warn(clippy::unwrap_used, clippy::expect_used)]
 pub mod run;
 pub mod trace;
+#[warn(clippy::unwrap_used, clippy::expect_used)]
+pub(crate) mod wire;
 
 pub use batch::BatchCore;
 pub use checkpoint::{

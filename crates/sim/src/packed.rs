@@ -23,6 +23,7 @@
 
 use crate::checkpoint::{atomic_write, fnv1a};
 use crate::trace::{EventSink, EventSource, MemEvent, Trace};
+use crate::wire::le_u64;
 use randmod_core::Address;
 use std::fmt;
 use std::path::Path;
@@ -71,6 +72,7 @@ fn decode(word: u64) -> MemEvent {
         TAG_FETCH => MemEvent::InstrFetch(Address::new(payload)),
         TAG_LOAD => MemEvent::Load(Address::new(payload)),
         TAG_STORE => MemEvent::Store(Address::new(payload)),
+        // randmod: allow(C1, compute payloads are encoded from a u32, so the low 32 bits are the whole value — pinned by the encode/decode round-trip proptest)
         _ => MemEvent::Compute(payload as u32),
     }
 }
@@ -275,21 +277,24 @@ impl PackedTrace {
     /// Returns [`TraceFileError::Corrupt`] naming the first check that
     /// failed; a damaged file is never partially decoded.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceFileError> {
+        // Every read below goes through `get`: a truncated file must
+        // become a `Corrupt` error, never a slice-bounds panic (rule P1).
         let corrupt = |detail: String| TraceFileError::Corrupt { detail };
+        let truncated = || corrupt("file too short for its own framing".to_string());
         if bytes.len() < 24 {
             return Err(corrupt(format!(
                 "{} bytes is shorter than the 24-byte minimum (magic + count + checksum)",
                 bytes.len()
             )));
         }
-        if &bytes[..8] != TRACE_FILE_MAGIC {
+        let magic = bytes.get(..8).ok_or_else(truncated)?;
+        if magic != TRACE_FILE_MAGIC.as_slice() {
             return Err(corrupt(format!(
-                "bad magic {:02x?} (expected {TRACE_FILE_MAGIC:02x?}) — not a packed-trace \
-                 file, or an unsupported version",
-                &bytes[..8]
+                "bad magic {magic:02x?} (expected {TRACE_FILE_MAGIC:02x?}) — not a packed-trace \
+                 file, or an unsupported version"
             )));
         }
-        let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+        let count = le_u64(bytes.get(8..16).ok_or_else(truncated)?);
         let body_len = bytes.len() - 8;
         let expected_words = (body_len - 16) / 8;
         if body_len < 16 || (body_len - 16) % 8 != 0 || count != expected_words as u64 {
@@ -299,17 +304,20 @@ impl PackedTrace {
                 body_len.saturating_sub(16)
             )));
         }
-        let stored = u64::from_le_bytes(bytes[body_len..].try_into().expect("8-byte slice"));
-        let computed = fnv1a(&bytes[..body_len]);
+        let stored = le_u64(bytes.get(body_len..).ok_or_else(truncated)?);
+        let body = bytes.get(..body_len).ok_or_else(truncated)?;
+        let computed = fnv1a(body);
         if stored != computed {
             return Err(corrupt(format!(
                 "checksum mismatch: stored {stored:#018x}, computed {computed:#018x} \
                  (truncated or bit-flipped)"
             )));
         }
-        let words = bytes[16..body_len]
+        let words = body
+            .get(16..)
+            .ok_or_else(truncated)?
             .chunks_exact(8)
-            .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+            .map(le_u64)
             .collect();
         Ok(PackedTrace { words })
     }

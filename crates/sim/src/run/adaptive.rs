@@ -184,7 +184,7 @@ impl Campaign {
                 self.run_contended_validated(sources, batch)
                     .map(ContendedResult::into_runs)
             },
-            |run| run.tasks[0].cycles,
+            |run| run.tasks.first().map_or(0, |victim| victim.cycles),
         )?;
         Ok(ContendedAdaptiveResult {
             result: ContendedResult::from_runs(runs),

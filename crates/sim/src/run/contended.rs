@@ -102,6 +102,7 @@ impl ContendedResult {
     ///
     /// Panics if `task` is out of range for a non-empty campaign.
     pub fn task_cycles_iter(&self, task: usize) -> impl Iterator<Item = u64> + '_ {
+        // randmod: allow(P1, the documented Panics contract: callers index by task_count(), and every run carries the same task vector by construction)
         self.runs.iter().map(move |run| run.tasks[task].cycles)
     }
 
@@ -118,10 +119,13 @@ impl ContendedResult {
         CampaignResult::from_runs(
             self.runs
                 .iter()
-                .map(|run| RunResult {
-                    seed: run.seed,
-                    cycles: run.tasks[0].cycles,
-                    stats: run.tasks[0].stats,
+                .filter_map(|run| {
+                    let victim = run.tasks.first()?;
+                    Some(RunResult {
+                        seed: run.seed,
+                        cycles: victim.cycles,
+                        stats: victim.stats,
+                    })
                 })
                 .collect(),
         )
@@ -137,7 +141,7 @@ impl fmt::Display for ContendedResult {
             self.task_count(),
             self.runs
                 .iter()
-                .map(|run| run.tasks[0].cycles)
+                .filter_map(|run| run.tasks.first().map(|t| t.cycles))
                 .max()
                 .unwrap_or(0)
         )
@@ -215,33 +219,37 @@ impl Campaign {
     where
         S: EventSource,
     {
-        if sources.is_empty() || seeds.is_empty() {
+        let Some((victim, opponents)) = sources.split_first() else {
+            return Ok(ContendedResult::default());
+        };
+        if seeds.is_empty() {
             return Ok(ContendedResult::default());
         }
         let tasks = sources.len();
         // Idle co-schedule: no opponent emits an event, so the shared L2
         // sees only the victim — route through the batched solo engine.
-        if sources[1..].iter().all(|s| s.events().next().is_none()) {
-            let solo = self.run_seeds_validated(&sources[0], seeds)?;
+        if opponents.iter().all(|s| s.events().next().is_none()) {
+            let solo = self.run_seeds_validated(victim, seeds)?;
             return Ok(ContendedResult::from_runs(
                 solo.runs()
                     .iter()
-                    .map(|run| {
-                        let mut task_runs = vec![
-                            TaskRun {
-                                cycles: 0,
-                                stats: HierarchyStats::default(),
-                            };
-                            tasks
-                        ];
-                        task_runs[0] = TaskRun {
-                            cycles: run.cycles,
-                            stats: run.stats,
-                        };
-                        ContendedRun {
-                            seed: run.seed,
-                            tasks: task_runs,
-                        }
+                    .map(|run| ContendedRun {
+                        seed: run.seed,
+                        tasks: (0..tasks)
+                            .map(|task| {
+                                if task == 0 {
+                                    TaskRun {
+                                        cycles: run.cycles,
+                                        stats: run.stats,
+                                    }
+                                } else {
+                                    TaskRun {
+                                        cycles: 0,
+                                        stats: HierarchyStats::default(),
+                                    }
+                                }
+                            })
+                            .collect(),
                     })
                     .collect(),
             ));

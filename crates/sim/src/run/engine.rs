@@ -209,6 +209,7 @@ impl Campaign {
     ///
     /// Returns [`ConfigError`] if the platform configuration is invalid.
     pub fn run_layout_sweep(&self, layouts: &[Trace]) -> Result<CampaignResult, ConfigError> {
+        // randmod: allow(P1, run_layout_sweep_with only calls back with i < layouts.len(), the count handed to it on this very line)
         self.run_layout_sweep_with(layouts.len(), |i| &layouts[i])
     }
 }

@@ -15,6 +15,7 @@ use randmod_core::ConfigError;
 /// results.  Every campaign engine — seed sweeps, contended sweeps,
 /// layout sweeps — shares this one scaffold, so work partitioning (and
 /// therefore result order) is identical across protocols by construction.
+#[allow(clippy::expect_used)] // re-raising a worker panic is the intended propagation; see the waiver below
 pub(super) fn scoped_chunks<T, R, F>(
     items: &[T],
     threads: usize,
@@ -38,6 +39,7 @@ where
             .map(|chunk| scope.spawn(move || worker(chunk)))
             .collect();
         for handle in handles {
+            // randmod: allow(P1, join() only fails when the worker itself panicked; re-raising that panic on the coordinating thread is the intended propagation, not a new failure mode)
             let chunk_result = handle.join().expect("campaign worker thread panicked");
             results.push(chunk_result?);
         }

@@ -96,6 +96,13 @@ impl ShardSpec {
         start..start + len
     }
 
+    /// [`Self::range`] without the panic: `None` for an out-of-range
+    /// index.  The checkpoint-restore path uses this so a hostile or
+    /// corrupt shard index degrades into a diagnostic, never a panic.
+    pub fn checked_range(&self, index: usize) -> Option<Range<usize>> {
+        (index < self.shard_count).then(|| self.range(index))
+    }
+
     /// Iterates every shard's sub-range, in shard order.
     pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
         (0..self.shard_count).map(|i| self.range(i))
@@ -169,11 +176,7 @@ fn push_u64(buf: &mut Vec<u8>, value: u64) {
     buf.extend_from_slice(&value.to_le_bytes());
 }
 
-fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
-    let slice = bytes.get(*pos..*pos + 8)?;
-    *pos += 8;
-    Some(u64::from_le_bytes(slice.try_into().expect("8-byte slice")))
-}
+use crate::wire::read_u64;
 
 fn push_cache_stats(buf: &mut Vec<u8>, stats: &CacheStats) {
     for v in [
@@ -440,13 +443,20 @@ where
                 }
                 diagnostics.extend(decoded.diagnostics);
                 for record in decoded.records {
-                    let index = record.shard_index as usize;
-                    let shard_seeds = &seeds[spec.range(index)];
-                    match decode(&record.payload, shard_seeds) {
-                        Some(runs) => shards[index] = Some(runs),
-                        None => diagnostics.push(format!(
-                            "shard {index} record does not match the seed schedule; \
-                             shard will re-run"
+                    // decode_checkpoint validated shard_index against the
+                    // header, but restore stays total anyway: anything
+                    // inconsistent becomes a diagnostic and a re-run.
+                    let index = usize::try_from(record.shard_index).unwrap_or(usize::MAX);
+                    let restored = spec
+                        .checked_range(index)
+                        .and_then(|range| seeds.get(range))
+                        .and_then(|shard_seeds| decode(&record.payload, shard_seeds));
+                    match (restored, shards.get_mut(index)) {
+                        (Some(runs), Some(slot)) => *slot = Some(runs),
+                        _ => diagnostics.push(format!(
+                            "shard {} record does not match the seed schedule; \
+                             shard will re-run",
+                            record.shard_index
                         )),
                     }
                 }
@@ -455,6 +465,7 @@ where
     }
     let resumed = shards.iter().filter(|s| s.is_some()).count();
     let mut executed = 0;
+    // randmod: allow(P1, index ranges over 0..spec.shard_count() == shards.len(), and ShardSpec::new(seeds.len(), ..) yields ranges inside 0..seeds.len() by construction — pinned by the shard_equivalence proptests)
     for index in 0..spec.shard_count() {
         if shards[index].is_some() {
             continue;
@@ -534,6 +545,7 @@ impl Campaign {
         let spec = ShardSpec::new(seeds.len(), shards);
         let mut runs = Vec::with_capacity(seeds.len());
         for range in spec.ranges() {
+            // randmod: allow(P1, ShardSpec::new(seeds.len(), ..) yields ranges inside 0..seeds.len() by construction)
             runs.extend(self.run_seeds_validated(source, &seeds[range])?.into_runs());
         }
         Ok(CampaignResult::from_runs(runs))
@@ -627,6 +639,7 @@ impl Campaign {
         let spec = ShardSpec::new(seeds.len(), shards);
         let mut runs = Vec::with_capacity(seeds.len());
         for range in spec.ranges() {
+            // randmod: allow(P1, ShardSpec::new(seeds.len(), ..) yields ranges inside 0..seeds.len() by construction)
             runs.extend(
                 self.run_contended_validated(sources, &seeds[range])?
                     .into_runs(),

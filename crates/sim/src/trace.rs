@@ -17,7 +17,6 @@
 //!   parallel runs of a [`crate::run::Campaign`] without being cloned.
 
 use randmod_core::Address;
-use std::collections::HashSet;
 use std::fmt;
 
 /// One event of a program trace.
@@ -311,9 +310,14 @@ impl TraceStats {
     where
         I: IntoIterator<Item = MemEvent>,
     {
+        // Footprints are *cardinalities*: collect the touched lines and
+        // count distinct values by sorting.  A hash set would be faster
+        // asymptotically but iterates in unspecified order (rule D2);
+        // sorted counting keeps every intermediate deterministic and is
+        // plenty for a pass that runs once per trace, not once per run.
         let shift = line_size.trailing_zeros();
-        let mut instr_lines = HashSet::new();
-        let mut data_lines = HashSet::new();
+        let mut instr_lines = Vec::new();
+        let mut data_lines = Vec::new();
         let mut stats = TraceStats {
             line_size,
             ..TraceStats::default()
@@ -322,21 +326,21 @@ impl TraceStats {
             match event {
                 MemEvent::InstrFetch(a) => {
                     stats.instr_fetches += 1;
-                    instr_lines.insert(a.raw() >> shift);
+                    instr_lines.push(a.raw() >> shift);
                 }
                 MemEvent::Load(a) => {
                     stats.loads += 1;
-                    data_lines.insert(a.raw() >> shift);
+                    data_lines.push(a.raw() >> shift);
                 }
                 MemEvent::Store(a) => {
                     stats.stores += 1;
-                    data_lines.insert(a.raw() >> shift);
+                    data_lines.push(a.raw() >> shift);
                 }
                 MemEvent::Compute(c) => stats.compute_cycles += c as u64,
             }
         }
-        stats.unique_instr_lines = instr_lines.len() as u64;
-        stats.unique_data_lines = data_lines.len() as u64;
+        stats.unique_instr_lines = count_distinct(&mut instr_lines);
+        stats.unique_data_lines = count_distinct(&mut data_lines);
         stats
     }
 
@@ -354,6 +358,14 @@ impl TraceStats {
     pub fn code_footprint_bytes(&self) -> u64 {
         self.unique_instr_lines * self.line_size as u64
     }
+}
+
+/// Counts distinct values by sorting in place — the deterministic
+/// replacement for hash-set cardinality (see rule D2 in DESIGN.md).
+fn count_distinct(values: &mut Vec<u64>) -> u64 {
+    values.sort_unstable();
+    values.dedup();
+    values.len() as u64
 }
 
 impl fmt::Display for TraceStats {

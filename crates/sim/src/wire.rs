@@ -1,0 +1,65 @@
+//! Panic-free little-endian wire primitives shared by the checkpoint,
+//! shard-payload and packed-trace codecs.
+//!
+//! Every multi-byte integer the simulator persists goes through these two
+//! functions, so the byte order — and the refusal to panic on short input
+//! — is decided in exactly one place.  Both are total: malformed input
+//! surfaces as `None` (turned into a contextual `Corrupt` error by the
+//! callers), never as a slice-bounds panic inside a resume path.
+
+/// Folds up to eight bytes into a little-endian `u64`.  Total: shorter
+/// slices zero-extend, which callers rule out by construction (the
+/// cursor API below and `chunks_exact(8)` both hand over exact windows).
+pub(crate) fn le_u64(chunk: &[u8]) -> u64 {
+    chunk
+        .iter()
+        .rev()
+        .fold(0u64, |word, &byte| (word << 8) | u64::from(byte))
+}
+
+/// Reads one little-endian `u64` at `*pos`, advancing the cursor on
+/// success and returning `None` (cursor untouched) when fewer than eight
+/// bytes remain.
+pub(crate) fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let chunk = bytes.get(*pos..pos.checked_add(8)?)?;
+    *pos += 8;
+    Some(le_u64(chunk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_byte_patterns() {
+        for value in [0u64, 1, 0x0102_0304_0506_0708, u64::MAX, u64::MAX - 255] {
+            assert_eq!(le_u64(&value.to_le_bytes()), value);
+        }
+    }
+
+    #[test]
+    fn cursor_reads_advance_and_stop_at_the_end() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&9u64.to_le_bytes());
+        bytes.push(0xAA); // trailing fragment
+        let mut pos = 0;
+        assert_eq!(read_u64(&bytes, &mut pos), Some(7));
+        assert_eq!(read_u64(&bytes, &mut pos), Some(9));
+        assert_eq!(pos, 16);
+        assert_eq!(read_u64(&bytes, &mut pos), None);
+        assert_eq!(pos, 16, "a failed read must not move the cursor");
+    }
+
+    #[test]
+    fn cursor_overflow_is_none_not_panic() {
+        let mut pos = usize::MAX - 3;
+        assert_eq!(read_u64(&[1, 2, 3], &mut pos), None);
+    }
+
+    #[test]
+    fn short_slices_zero_extend() {
+        assert_eq!(le_u64(&[0xFF]), 0xFF);
+        assert_eq!(le_u64(&[]), 0);
+    }
+}
