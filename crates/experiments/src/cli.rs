@@ -40,6 +40,11 @@ pub struct ExperimentOptions {
     /// clearing it and starting fresh.  Only meaningful with
     /// `--checkpoint`.
     pub resume: bool,
+    /// Campaign-server address (`--server ADDR`, e.g. `127.0.0.1:7878`):
+    /// submit fixed-run campaigns to a running `randmod-server` instead of
+    /// simulating locally, so repeated experiment invocations share its
+    /// content-addressed result cache.
+    pub server: Option<String>,
 }
 
 impl Default for ExperimentOptions {
@@ -56,6 +61,7 @@ impl Default for ExperimentOptions {
             shards: None,
             checkpoint: None,
             resume: false,
+            server: None,
         }
     }
 }
@@ -196,6 +202,11 @@ impl ExperimentOptions {
                 "--resume" => {
                     options.resume = true;
                 }
+                "--server" => {
+                    if let Some(value) = string_value(&args, &mut i, "--server", &mut warnings) {
+                        options.server = Some(value);
+                    }
+                }
                 "--adaptive" => {
                     options.adaptive = true;
                 }
@@ -251,6 +262,30 @@ impl ExperimentOptions {
             warnings.push(
                 "--adaptive campaigns grow until convergence and cannot be sharded or \
                  checkpointed; --shards/--checkpoint/--resume ignored"
+                    .into(),
+            );
+            options.shards = None;
+            options.checkpoint = None;
+            options.resume = false;
+        }
+        // Client mode offloads the whole fixed schedule to the server,
+        // whose content-addressed store already provides the persistence
+        // --checkpoint would; and the adaptive driver streams its
+        // trajectory interactively, which the batch client cannot consume.
+        if options.server.is_some() && options.adaptive {
+            warnings.push(
+                "--adaptive campaigns run locally (the client mode consumes whole samples, \
+                 not convergence streams); --server ignored"
+                    .into(),
+            );
+            options.server = None;
+        }
+        if options.server.is_some()
+            && (options.shards.is_some() || options.checkpoint.is_some())
+        {
+            warnings.push(
+                "--server campaigns are cached by the server's result store; \
+                 --shards/--checkpoint/--resume ignored"
                     .into(),
             );
             options.shards = None;
@@ -323,6 +358,12 @@ impl ExperimentOptions {
     /// Returns the options with resume mode enabled.
     pub fn with_resume(mut self) -> Self {
         self.resume = true;
+        self
+    }
+
+    /// Returns the options with a campaign-server address.
+    pub fn with_server(mut self, addr: impl Into<String>) -> Self {
+        self.server = Some(addr.into());
         self
     }
 }
@@ -581,6 +622,63 @@ mod tests {
         assert_eq!(options.shards, Some(6));
         assert_eq!(options.checkpoint.as_deref(), Some("/tmp/state"));
         assert!(options.resume);
+    }
+
+    #[test]
+    fn server_flag_is_parsed_and_built() {
+        let options = ExperimentOptions::parse(["--server", "127.0.0.1:7878"]);
+        assert_eq!(options.server.as_deref(), Some("127.0.0.1:7878"));
+        let built = ExperimentOptions::default().with_server("localhost:9");
+        assert_eq!(built.server.as_deref(), Some("localhost:9"));
+        assert_eq!(ExperimentOptions::default().server, None);
+    }
+
+    #[test]
+    fn server_does_not_swallow_a_following_flag() {
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--server", "--quick"]);
+        assert_eq!(options.server, None);
+        assert!(options.quick, "--quick must still be scanned");
+        assert!(warnings[0].contains("--server"), "{warnings:?}");
+
+        let (options, warnings) = ExperimentOptions::parse_with_warnings(["--server"]);
+        assert_eq!(options.server, None);
+        assert!(warnings[0].contains("expects a value"), "{warnings:?}");
+    }
+
+    #[test]
+    fn adaptive_mode_keeps_campaigns_local() {
+        let (options, warnings) = ExperimentOptions::parse_with_warnings([
+            "--server",
+            "127.0.0.1:7878",
+            "--adaptive",
+        ]);
+        assert!(options.adaptive);
+        assert_eq!(options.server, None);
+        assert!(
+            warnings.iter().any(|w| w.contains("--server")),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn server_mode_supersedes_local_checkpointing() {
+        let (options, warnings) = ExperimentOptions::parse_with_warnings([
+            "--server",
+            "127.0.0.1:7878",
+            "--shards",
+            "4",
+            "--checkpoint",
+            "dir",
+            "--resume",
+        ]);
+        assert_eq!(options.server.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(options.shards, None);
+        assert_eq!(options.checkpoint, None);
+        assert!(!options.resume);
+        assert!(
+            warnings.iter().any(|w| w.contains("result store")),
+            "{warnings:?}"
+        );
     }
 
     #[test]

@@ -164,6 +164,80 @@ pub fn measure_opts(
     )
 }
 
+/// How long the client keeps retrying a `429 Retry-After` backpressure
+/// refusal before giving up: a saturated server is expected to drain —
+/// campaigns are finite — but a wedged one must not hang an experiment
+/// forever.
+pub const SERVER_BUSY_PATIENCE: std::time::Duration = std::time::Duration::from_secs(300);
+
+/// Submits one fixed-run campaign to a `randmod-server` (`--server`) and
+/// decodes the returned sample.  The server replays exactly the seed
+/// schedule the local engine would use, so the returned sample is
+/// bit-identical to [`measure_source`] — warm submissions are just served
+/// from the server's content-addressed cache instead of recomputed.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Server`] if the server is unreachable,
+/// stays saturated past [`SERVER_BUSY_PATIENCE`], refuses the campaign,
+/// or returns a payload that fails seed-schedule validation.
+pub fn measure_via_server(
+    addr: &str,
+    trace: &randmod_sim::PackedTrace,
+    platform: PlatformConfig,
+    runs: usize,
+    campaign_seed: u64,
+) -> Result<ExecutionSample, ExperimentError> {
+    let server_error = |detail: String| ExperimentError::Server { detail };
+    let seeds = Campaign::new(platform, runs)
+        .with_campaign_seed(campaign_seed)
+        .seed_schedule();
+    let spec = randmod_server::CampaignSpec {
+        config: platform,
+        campaign_seed,
+        mode: randmod_server::SpecMode::Fixed(seeds.clone()),
+        trace: trace.clone(),
+    };
+    let body = randmod_server::encode_spec(&spec);
+    let mut client = randmod_server::Client::connect(addr)
+        .map_err(|err| server_error(format!("{addr}: connect failed: {err}")))?;
+    let deadline = std::time::Instant::now() + SERVER_BUSY_PATIENCE;
+    loop {
+        let response = client
+            .post("/campaign", &body)
+            .map_err(|err| server_error(format!("{addr}: submission failed: {err}")))?;
+        match response.status {
+            200 => {
+                let runs = randmod_sim::decode_solo_runs(&response.body, &seeds).ok_or_else(
+                    || {
+                        server_error(format!(
+                            "{addr}: response payload does not match the campaign's seed schedule"
+                        ))
+                    },
+                )?;
+                return Ok(ExecutionSample::from_cycles_iter(
+                    runs.iter().map(|run| run.cycles),
+                ));
+            }
+            429 => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(server_error(format!(
+                        "{addr}: still saturated after {}s of 429 backpressure",
+                        SERVER_BUSY_PATIENCE.as_secs()
+                    )));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            status => {
+                return Err(server_error(format!(
+                    "{addr}: campaign refused with status {status}: {}",
+                    String::from_utf8_lossy(&response.body)
+                )));
+            }
+        }
+    }
+}
+
 /// Default shard count when `--checkpoint` asks for a resumable campaign
 /// without an explicit `--shards`: enough shards that an interruption
 /// loses at most a few percent of a long campaign, few enough that the
@@ -349,18 +423,23 @@ pub struct Measurement {
     pub adaptive: Option<AdaptiveSummary>,
 }
 
-/// [`measure_opts`] that honours `options.adaptive`, `options.shards` and
-/// `options.checkpoint`: a fixed-run campaign by default, the
-/// convergence-driven protocol (whose collected runs are a bit-identical
-/// prefix of the fixed schedule) under `--adaptive`, or the sharded —
-/// optionally checkpointed and resumable — protocol (bit-identical to the
-/// unsharded campaign) under `--shards`/`--checkpoint`.
+/// [`measure_opts`] that honours `options.adaptive`, `options.shards`,
+/// `options.checkpoint` and `options.server`: a fixed-run campaign by
+/// default, the convergence-driven protocol (whose collected runs are a
+/// bit-identical prefix of the fixed schedule) under `--adaptive`, the
+/// sharded — optionally checkpointed and resumable — protocol
+/// (bit-identical to the unsharded campaign) under
+/// `--shards`/`--checkpoint`, or — for fixed-run campaigns under
+/// `--server` — a submission to a running campaign server via
+/// [`measure_via_server`] (bit-identical again: the server runs the same
+/// engine over the same seed schedule).
 ///
 /// # Errors
 ///
 /// Returns [`ExperimentError`] if the platform configuration is invalid,
-/// the checkpoint directory cannot be created, or the checkpoint store
-/// fails or belongs to a different campaign.
+/// the checkpoint directory cannot be created, the checkpoint store
+/// fails or belongs to a different campaign, or — in client mode — the
+/// campaign server fails (see [`measure_via_server`]).
 pub fn measure_campaign(
     workload: &dyn Workload,
     l1_placement: PlacementKind,
@@ -368,6 +447,17 @@ pub fn measure_campaign(
     campaign_seed: u64,
 ) -> Result<Measurement, ExperimentError> {
     if !options.adaptive {
+        if let Some(addr) = options.server.as_deref() {
+            let trace = workload.packed_trace(&MemoryLayout::default());
+            let sample = measure_via_server(
+                addr,
+                &trace,
+                platform_with_l1(l1_placement),
+                options.runs,
+                campaign_seed,
+            )?;
+            return Ok(Measurement { sample, adaptive: None });
+        }
         let sample = match sharding(options) {
             None => measure_opts(workload, l1_placement, options, campaign_seed)?,
             Some(shards) => {

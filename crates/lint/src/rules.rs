@@ -151,6 +151,14 @@ const HOT_PATH_FILES: [&str; 5] = [
 /// Codec/fingerprint modules: C1 (cast audit) applies, by file name.
 const CODEC_FILES: [&str; 4] = ["checkpoint.rs", "packed.rs", "shard.rs", "wire.rs"];
 
+/// Server modules that face hostile bytes: the HTTP parser and the
+/// campaign-spec codec.  They get the panic-freedom and cast-audit
+/// treatment of the engine's hot path (a malformed request must decode
+/// to a refusal, never a panic) but not the determinism rules — a
+/// server legitimately reads clocks and sockets.
+const SERVER_GUARDED_FILES: [&str; 2] =
+    ["crates/server/src/http.rs", "crates/server/src/body.rs"];
+
 /// Classifies a workspace-relative path (forward slashes).  Returns
 /// `None` for files the checker skips entirely: test trees, benches,
 /// examples, build output and the vendored dependency stand-ins.
@@ -166,8 +174,10 @@ pub fn classify(rel_path: &str) -> Option<FileScope> {
     }
     let engine = ENGINE_CRATES.iter().any(|root| rel_path.starts_with(root));
     let base = rel_path.rsplit('/').next().unwrap_or(rel_path);
-    let hot_path = engine && (HOT_PATH_FILES.contains(&base) || rel_path.contains("/src/run/"));
-    let codec = engine && CODEC_FILES.contains(&base);
+    let server_guarded = SERVER_GUARDED_FILES.contains(&rel_path);
+    let hot_path = server_guarded
+        || (engine && (HOT_PATH_FILES.contains(&base) || rel_path.contains("/src/run/")));
+    let codec = server_guarded || (engine && CODEC_FILES.contains(&base));
     Some(FileScope {
         engine,
         hot_path,

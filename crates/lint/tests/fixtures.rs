@@ -317,6 +317,19 @@ fn classification_matches_the_documented_scopes() {
 
     let tool = classify("crates/cli/src/main.rs").unwrap();
     assert!(!tool.engine && !tool.hot_path && !tool.codec, "W1-only scope");
+
+    // The server's hostile-byte surfaces get P1 + C1 but not the
+    // determinism rules (a server legitimately reads clocks/sockets).
+    for guarded in ["crates/server/src/http.rs", "crates/server/src/body.rs"] {
+        let scope = classify(guarded).unwrap();
+        assert!(
+            !scope.engine && scope.hot_path && scope.codec,
+            "{guarded} must be panic-free and cast-audited: {scope:?}"
+        );
+    }
+    let service = classify("crates/server/src/service.rs").unwrap();
+    assert!(!service.engine && !service.hot_path && !service.codec);
+    assert!(classify("crates/server/tests/protocol.rs").is_none());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,92 @@
+//! The `randmod-server` binary: a persistent campaign-analysis service.
+//!
+//! ```text
+//! randmod-server [--addr HOST:PORT] [--store DIR] [--workers N]
+//!                [--max-body BYTES] [--threads N] [--lanes K]
+//!                [--read-timeout-ms MS]
+//! ```
+
+use randmod_server::{start, ResultStore, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: randmod-server [--addr HOST:PORT] [--store DIR] [--workers N]\n\
+         \x20                     [--max-body BYTES] [--threads N] [--lanes K]\n\
+         \x20                     [--read-timeout-ms MS]\n\
+         \n\
+         Campaign-as-a-service analysis server: POST RMSPEC01 campaign specs\n\
+         to /campaign; finished results are content-addressed into --store\n\
+         and re-served on identical resubmission without recomputation."
+    );
+    std::process::exit(2);
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(raw) = value else {
+        eprintln!("error: {flag} needs a value");
+        usage();
+    };
+    match raw.parse() {
+        Ok(parsed) => parsed,
+        Err(_) => {
+            eprintln!("error: {flag} {raw:?} is not valid");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut store_dir = "randmod-results".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => config.addr = parse_value(&flag, args.next()),
+            "--store" => store_dir = parse_value(&flag, args.next()),
+            "--workers" => config.workers = parse_value(&flag, args.next()),
+            "--max-body" => config.max_body = parse_value(&flag, args.next()),
+            "--threads" => config.campaign_threads = Some(parse_value(&flag, args.next())),
+            "--lanes" => config.campaign_lanes = Some(parse_value(&flag, args.next())),
+            "--read-timeout-ms" => {
+                config.read_timeout = Duration::from_millis(parse_value(&flag, args.next()));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let store = match ResultStore::in_dir(&store_dir) {
+        Ok(store) => store,
+        Err(err) => {
+            eprintln!("error: cannot open result store {store_dir:?}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let workers = config.workers;
+    match start(config, store) {
+        Ok(handle) => {
+            println!(
+                "randmod-server listening on {} ({} workers, store {:?})",
+                handle.addr(),
+                workers,
+                store_dir
+            );
+            // Serve until killed; connections are handled by the
+            // server's own threads.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(err) => {
+            eprintln!("error: cannot start server: {err}");
+            std::process::exit(1);
+        }
+    }
+}

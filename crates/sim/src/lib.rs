@@ -80,7 +80,7 @@ pub mod packed;
 pub mod run;
 pub mod trace;
 #[warn(clippy::unwrap_used, clippy::expect_used)]
-pub(crate) mod wire;
+pub mod wire;
 
 pub use batch::BatchCore;
 pub use checkpoint::{
@@ -95,7 +95,8 @@ pub use cpu::InOrderCore;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy};
 pub use packed::PackedTrace;
 pub use run::{
-    AdaptiveResult, Campaign, CampaignError, CampaignResult, ContendedAdaptiveResult,
-    ContendedResult, ContendedRun, RunResult, ShardSpec, ShardedReport, TaskRun,
+    decode_solo_runs, encode_solo_runs, AdaptiveResult, Campaign, CampaignError, CampaignResult,
+    ContendedAdaptiveResult, ContendedResult, ContendedRun, RunResult, ShardSpec, ShardedReport,
+    TaskRun,
 };
 pub use trace::{EventSink, EventSource, MemEvent, SinkFn, Trace, TraceStats};

@@ -57,7 +57,7 @@ mod shard;
 pub use adaptive::{AdaptiveResult, ContendedAdaptiveResult};
 pub use contended::{ContendedResult, ContendedRun, TaskRun};
 pub use engine::{CampaignResult, RunResult};
-pub use shard::{CampaignError, ShardSpec, ShardedReport};
+pub use shard::{decode_solo_runs, encode_solo_runs, CampaignError, ShardSpec, ShardedReport};
 
 use crate::config::PlatformConfig;
 use crate::contention::Arbitration;

@@ -222,8 +222,11 @@ fn read_hierarchy_stats(bytes: &[u8], pos: &mut usize) -> Option<HierarchyStats>
     })
 }
 
-/// Serializes one solo shard's runs (seed, cycles, stats per run).
-fn encode_solo_runs(runs: &[RunResult]) -> Vec<u8> {
+/// Serializes a slice of solo runs (seed, cycles, stats per run) in the
+/// shard-record wire encoding.  Public so external result caches (the
+/// `randmod-server` content-addressed store) persist campaign results in
+/// exactly the format the checkpoint protocol already pins down.
+pub fn encode_solo_runs(runs: &[RunResult]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(runs.len() * 30 * 8);
     for run in runs {
         push_u64(&mut buf, run.seed);
@@ -233,11 +236,11 @@ fn encode_solo_runs(runs: &[RunResult]) -> Vec<u8> {
     buf
 }
 
-/// Deserializes one solo shard's runs, validating that the payload holds
-/// exactly the shard's seed sub-schedule in order.  `None` means the
-/// record does not belong to this shard (wrong length, wrong seeds) and
-/// the shard must re-run.
-fn decode_solo_runs(payload: &[u8], expected_seeds: &[u64]) -> Option<Vec<RunResult>> {
+/// Deserializes a slice of solo runs, validating that the payload holds
+/// exactly the expected seed schedule in order.  `None` means the
+/// payload does not belong to this schedule (wrong length, wrong seeds)
+/// and the campaign must re-run.  The inverse of [`encode_solo_runs`].
+pub fn decode_solo_runs(payload: &[u8], expected_seeds: &[u64]) -> Option<Vec<RunResult>> {
     let mut pos = 0;
     let mut runs = Vec::with_capacity(expected_seeds.len());
     for &expected in expected_seeds {
@@ -357,6 +360,18 @@ impl Campaign {
         hash.write_u64(1); // task count
         Self::fold_trace(&mut hash, source);
         hash.finish()
+    }
+
+    /// The content-address of an unsharded solo campaign over an explicit
+    /// seed schedule: [`Self::sharded_fingerprint`] with a single shard.
+    /// This is the key the `randmod-server` result cache files results
+    /// under — any change to the trace, the platform configuration or the
+    /// seed schedule changes the key.
+    pub fn campaign_fingerprint<S>(&self, source: &S, seeds: &[u64]) -> u64
+    where
+        S: EventSource + ?Sized,
+    {
+        self.sharded_fingerprint(source, seeds, 1)
     }
 
     /// The fingerprint of [`Self::run_sharded_checkpointed`]: the solo

@@ -6,11 +6,15 @@
 //! — is decided in exactly one place.  Both are total: malformed input
 //! surfaces as `None` (turned into a contextual `Corrupt` error by the
 //! callers), never as a slice-bounds panic inside a resume path.
+//!
+//! The module is public so out-of-workspace wire formats (the
+//! `randmod-server` campaign-spec codec, for one) share the same two
+//! audited primitives instead of growing their own byte fiddling.
 
 /// Folds up to eight bytes into a little-endian `u64`.  Total: shorter
 /// slices zero-extend, which callers rule out by construction (the
 /// cursor API below and `chunks_exact(8)` both hand over exact windows).
-pub(crate) fn le_u64(chunk: &[u8]) -> u64 {
+pub fn le_u64(chunk: &[u8]) -> u64 {
     chunk
         .iter()
         .rev()
@@ -20,7 +24,7 @@ pub(crate) fn le_u64(chunk: &[u8]) -> u64 {
 /// Reads one little-endian `u64` at `*pos`, advancing the cursor on
 /// success and returning `None` (cursor untouched) when fewer than eight
 /// bytes remain.
-pub(crate) fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
     let chunk = bytes.get(*pos..pos.checked_add(8)?)?;
     *pos += 8;
     Some(le_u64(chunk))
